@@ -1,0 +1,153 @@
+(* Ablations over StopWatch's design parameters (DESIGN.md's ablation index):
+   the delta_n / delta_d offsets, the scheduler quantum, the replica count,
+   and epoch-based virtual-clock resynchronisation. *)
+
+open Sw_experiments
+module Time = Sw_sim.Time
+module Config = Sw_vmm.Config
+module Cloud = Stopwatch.Cloud
+
+let http_latency ~config =
+  let o =
+    File_transfer.run ~config ~protocol:File_transfer.Http ~stopwatch:true
+      ~size_bytes:102_400 ~runs:2 ()
+  in
+  (o.File_transfer.elapsed_ms, o.File_transfer.divergences)
+
+let delta_n_sweep () =
+  Tables.subsection "delta_n sweep (HTTP 100 KB latency under StopWatch)";
+  Tables.header ~width:14 [ "delta_n (ms)"; "latency ms"; "divergences" ];
+  List.iter
+    (fun ms ->
+      let config = { Config.default with Config.delta_n = Time.ms ms } in
+      let latency, div = http_latency ~config in
+      Tables.row ~width:14
+        [ string_of_int ms; Tables.f1 latency; string_of_int div ])
+    [ 2; 5; 10; 20 ]
+
+let delta_d_sweep () =
+  Tables.subsection "delta_d sweep (ferret runtime under StopWatch)";
+  Tables.header ~width:14 [ "delta_d (ms)"; "runtime ms"; "dd violations" ];
+  List.iter
+    (fun ms ->
+      let config = { Config.default with Config.delta_d = Time.ms ms } in
+      let o = Parsec_bench.run ~config ~stopwatch:true Sw_apps.Parsec.ferret in
+      Tables.row ~width:14
+        [
+          string_of_int ms;
+          Tables.f0 o.Parsec_bench.runtime_ms;
+          string_of_int o.Parsec_bench.delta_d_violations;
+        ])
+    [ 4; 8; 12; 20 ]
+
+let quantum_sweep () =
+  Tables.subsection "scheduler quantum sweep (HTTP 100 KB latency under StopWatch)";
+  Tables.header ~width:14 [ "quantum (us)"; "latency ms"; "divergences" ];
+  List.iter
+    (fun us ->
+      let config = { Config.default with Config.quantum = Time.us us } in
+      let latency, div = http_latency ~config in
+      Tables.row ~width:14
+        [ string_of_int us; Tables.f1 latency; string_of_int div ])
+    [ 50; 100; 200; 500; 1000 ]
+
+let replica_sweep () =
+  Tables.subsection "replica count sweep (HTTP 100 KB latency)";
+  Tables.header ~width:14 [ "replicas"; "latency ms" ];
+  List.iter
+    (fun m ->
+      let config = { Config.default with Config.replicas = m } in
+      let cloud = Cloud.create ~config ~machines:m () in
+      let d =
+        Cloud.deploy cloud
+          ~on:(List.init m (fun i -> i))
+          ~app:(Sw_apps.Http.server ())
+      in
+      let client = Cloud.add_host cloud () in
+      let tcp = Sw_apps.Tcp_host.attach client () in
+      let result = ref nan in
+      Sw_apps.Http.download tcp ~dst:(Cloud.vm_address d) ~file:1 ~size:102_400
+        ~on_done:(fun ~elapsed_ms -> result := elapsed_ms)
+        ();
+      Cloud.run cloud ~until:(Time.s 30);
+      Tables.row ~width:14 [ string_of_int m; Tables.f1 !result ])
+    [ 1; 3; 5; 7 ]
+
+(* A guest whose virtual clock runs 10% fast drifts from real time without
+   resynchronisation; the epoch protocol pulls the slope back toward the
+   median machine's real rate (Sec. IV-A). *)
+let epoch_resync () =
+  Tables.subsection "epoch resynchronisation (guest clock 10% fast, 5 s run)";
+  Tables.header ~width:20 [ "epoch I (branches)"; "|virt - real| ms"; "epochs" ];
+  let drift epoch =
+    let config =
+      {
+        Config.default with
+        Config.slope_ns_per_branch = 1.1;
+        epoch;
+      }
+    in
+    let cloud = Cloud.create ~config ~machines:3 () in
+    let d = Cloud.deploy cloud ~on:[ 0; 1; 2 ] ~app:Sw_vm.App.idle in
+    Cloud.run cloud ~until:(Time.s 5);
+    let inst = List.hd (Cloud.replicas d) in
+    let virt = Sw_vm.Guest.virt_now (Sw_vmm.Vmm.guest inst) in
+    let drift_ms = Float.abs (Time.to_float_ms (Time.sub virt (Time.s 5))) in
+    (drift_ms, Sw_vmm.Replica_group.epochs_resolved (Cloud.group d))
+  in
+  let no_resync, _ = drift None in
+  Tables.row ~width:20 [ "off"; Tables.f1 no_resync; "0" ];
+  List.iter
+    (fun interval ->
+      let d, epochs =
+        drift
+          (Some
+             {
+               Config.interval_branches = Int64.of_int interval;
+               slope_l = 0.9;
+               slope_u = 1.1;
+             })
+      in
+      Tables.row ~width:20
+        [ string_of_int interval; Tables.f1 d; string_of_int epochs ])
+    [ 100_000_000; 500_000_000; 2_000_000_000 ]
+
+let hardware_spread () =
+  Tables.subsection
+    "machine speed spread (echo RTT; skew limiter activity over 5 s)";
+  Tables.header ~width:14 [ "spread %"; "skew blocks"; "divergences" ];
+  List.iter
+    (fun spread ->
+      let cloud =
+        Cloud.create ~seed:31L ~rate_spread:spread ~clock_spread:(Time.ms 1)
+          ~machines:3 ()
+      in
+      let d =
+        Cloud.deploy cloud ~on:[ 0; 1; 2 ] ~app:(Sw_apps.Probe.receiver ())
+      in
+      let client = Cloud.add_host cloud () in
+      let rec ping n =
+        if n <= 100 then
+          Stopwatch.Host.after client (Time.ms 50) (fun () ->
+              Stopwatch.Host.send client ~dst:(Cloud.vm_address d) ~size:100
+                (Sw_apps.Probe.Probe_ping n);
+              ping (n + 1))
+      in
+      ping 1;
+      Cloud.run cloud ~until:(Time.s 5);
+      Tables.row ~width:14
+        [
+          Printf.sprintf "%.1f" (spread *. 100.);
+          string_of_int (Cloud.skew_blocks d);
+          string_of_int (Cloud.divergences d);
+        ])
+    [ 0.0; 0.001; 0.01; 0.03 ]
+
+let run () =
+  Tables.section "Ablations";
+  delta_n_sweep ();
+  delta_d_sweep ();
+  quantum_sweep ();
+  replica_sweep ();
+  hardware_spread ();
+  epoch_resync ()

@@ -1,0 +1,79 @@
+(* Sec. VIII: replica placement. Theorem 1's maximum edge-disjoint triangle
+   packing sizes, Theorem 2's constructive capacity-constrained placement,
+   the greedy practical algorithm, and the utilization comparison against
+   running each guest VM in isolation (Theta(cn) vs n). *)
+
+open Sw_experiments
+module P = Sw_placement.Placement
+module Pk = Sw_placement.Packing
+
+let theorem1 () =
+  Tables.subsection "Theorem 1: maximum packing of K_n with edge-disjoint triangles";
+  Tables.header ~width:10 [ "n"; "max k"; "greedy k"; "edges"; "3k" ];
+  List.iter
+    (fun n ->
+      let k = Pk.max_packing_size n in
+      let greedy = List.length (Pk.greedy n) in
+      Tables.row ~width:10
+        [
+          string_of_int n;
+          string_of_int k;
+          string_of_int greedy;
+          string_of_int (Pk.edge_count n);
+          string_of_int (3 * k);
+        ])
+    [ 3; 4; 5; 6; 7; 8; 9; 10; 12; 15; 21; 33; 45; 60 ]
+
+let theorem2 () =
+  Tables.subsection
+    "Theorem 2: capacity-constrained placement for n = 3 mod 6 (k VMs placed, all verified)";
+  Tables.header ~width:10 [ "n"; "c"; "bound"; "placed"; "valid"; "util"; "isol." ];
+  List.iter
+    (fun n ->
+      let cs = [ 1; 2; 3; (n - 1) / 4; (n - 1) / 2 ] in
+      List.iter
+        (fun c ->
+          if c >= 1 then begin
+            let bound = P.theorem2_bound ~n ~c in
+            match P.theorem2_place ~n ~c ~k:bound with
+            | Error e -> Printf.printf "n=%d c=%d ERROR: %s\n" n c e
+            | Ok plan ->
+                let valid =
+                  match P.verify plan with Ok () -> "yes" | Error _ -> "NO"
+                in
+                Tables.row ~width:10
+                  [
+                    string_of_int n;
+                    string_of_int c;
+                    string_of_int bound;
+                    string_of_int (List.length plan.P.placements);
+                    valid;
+                    Tables.f2 (P.utilization plan);
+                    string_of_int (P.isolation_bound ~n);
+                  ]
+          end)
+        (List.sort_uniq compare cs))
+    [ 9; 15; 21; 27; 33 ]
+
+let scaling () =
+  Tables.subsection "Guest VMs runnable: StopWatch Theta(cn) vs isolation (n)";
+  Tables.header ~width:12 [ "n"; "c"; "stopwatch"; "isolation"; "factor" ];
+  List.iter
+    (fun n ->
+      let c = (n - 1) / 2 in
+      let k = P.theorem2_bound ~n ~c in
+      Tables.row ~width:12
+        [
+          string_of_int n;
+          string_of_int c;
+          string_of_int k;
+          string_of_int n;
+          Tables.f1 (float_of_int k /. float_of_int n);
+        ])
+    [ 9; 15; 21; 33; 45; 63; 99; 201 ]
+
+let run () =
+  Tables.section "Sec. VIII — replica placement in the cloud";
+  theorem1 ();
+  theorem2 ();
+  scaling ()

@@ -1,0 +1,23 @@
+(* Fig. 2: the packet-delivery protocol, reproduced as an execution trace of
+   one inbound packet: arrival at each VMM, the three proposals, the median
+   selection, and the delivery to the guest replicas. *)
+
+module Time = Sw_sim.Time
+module Cloud = Stopwatch.Cloud
+
+let run () =
+  Sw_experiments.Tables.section
+    "Fig. 2 — delivering one packet to guest VM replicas (protocol trace)";
+  let cloud = Cloud.create ~machines:3 () in
+  let d = Cloud.deploy cloud ~on:[ 0; 1; 2 ] ~app:(Sw_apps.Probe.receiver ()) in
+  let trace = Sw_sim.Trace.create () in
+  Sw_sim.Trace.enable trace;
+  List.iter (fun inst -> Sw_vmm.Vmm.set_trace inst trace) (Cloud.replicas d);
+  let client = Cloud.add_host cloud () in
+  Stopwatch.Host.after client (Time.ms 100) (fun () ->
+      Stopwatch.Host.send client ~dst:(Cloud.vm_address d) ~size:100
+        (Sw_apps.Probe.Probe_ping 1));
+  Cloud.run cloud ~until:(Time.ms 400);
+  List.iter
+    (fun e -> Format.printf "%a@." Sw_sim.Trace.pp_entry e)
+    (Sw_sim.Trace.entries trace)

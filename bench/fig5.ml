@@ -1,0 +1,37 @@
+(* Fig. 5: HTTP and UDP file-retrieval latency, baseline vs StopWatch,
+   1 KB .. 10 MB. Paper reference points (their testbed, wireless client):
+   HTTP loses < 2.8x for >= 100 KB; UDP over StopWatch is competitive with
+   baseline for >= 100 KB. *)
+
+open Sw_experiments
+module Ft = File_transfer
+
+let runs = 3
+
+let sweep protocol =
+  List.map
+    (fun size ->
+      let baseline = Ft.run ~protocol ~stopwatch:false ~size_bytes:size ~runs () in
+      let stopwatch = Ft.run ~protocol ~stopwatch:true ~size_bytes:size ~runs () in
+      (size, baseline, stopwatch))
+    Ft.paper_sizes
+
+let print_rows label rows =
+  Tables.subsection label;
+  Tables.header ~width:12 [ "size (KB)"; "baseline ms"; "stopwatch ms"; "ratio"; "div" ];
+  List.iter
+    (fun (size, (b : Ft.outcome), (s : Ft.outcome)) ->
+      Tables.row ~width:12
+        [
+          string_of_int (size / 1024);
+          Tables.f1 b.Ft.elapsed_ms;
+          Tables.f1 s.Ft.elapsed_ms;
+          Tables.f2 (s.Ft.elapsed_ms /. b.Ft.elapsed_ms);
+          string_of_int s.Ft.divergences;
+        ])
+    rows
+
+let run () =
+  Tables.section "Fig. 5 — HTTP and UDP file-retrieval latency";
+  print_rows "HTTP (TCP; each average of 3 runs)" (sweep Ft.Http);
+  print_rows "UDP with NAK-based reliability" (sweep Ft.Udp)

@@ -1,0 +1,44 @@
+(* Fig. 6: NFS under an nhfsstone-style load: (a) average latency per
+   operation vs offered load; (b) TCP packets per operation by direction.
+   Paper: StopWatch <= 2.7x baseline, latency growing roughly
+   logarithmically; client-to-server packets per op fall as load grows. *)
+
+open Sw_experiments
+module Nb = Nfs_bench
+
+let ops = 600
+
+let run () =
+  Tables.section "Fig. 6 — NFS server under nhfsstone load";
+  let rows =
+    List.map
+      (fun rate ->
+        let b = Nb.run ~stopwatch:false ~rate_per_s:rate ~ops () in
+        let s = Nb.run ~stopwatch:true ~rate_per_s:rate ~ops () in
+        (rate, b, s))
+      Nb.paper_rates
+  in
+  Tables.subsection "Fig. 6(a): average latency per operation (ms)";
+  Tables.header ~width:12 [ "ops/s"; "baseline"; "stopwatch"; "ratio"; "done(sw)" ];
+  List.iter
+    (fun (rate, (b : Nb.outcome), (s : Nb.outcome)) ->
+      Tables.row ~width:12
+        [
+          Tables.f0 rate;
+          Tables.f2 b.Nb.mean_latency_ms;
+          Tables.f2 s.Nb.mean_latency_ms;
+          Tables.f2 (s.Nb.mean_latency_ms /. b.Nb.mean_latency_ms);
+          Printf.sprintf "%d/%d" s.Nb.completed s.Nb.issued;
+        ])
+    rows;
+  Tables.subsection "Fig. 6(b): TCP packets per operation (StopWatch run)";
+  Tables.header ~width:16 [ "ops/s"; "client->server"; "server->client" ];
+  List.iter
+    (fun (rate, _, (s : Nb.outcome)) ->
+      Tables.row ~width:16
+        [
+          Tables.f0 rate;
+          Tables.f2 s.Nb.client_to_server_per_op;
+          Tables.f2 s.Nb.server_to_client_per_op;
+        ])
+    rows

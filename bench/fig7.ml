@@ -1,0 +1,45 @@
+(* Fig. 7: PARSEC applications — average runtimes over unmodified Xen vs
+   StopWatch, and the disk-interrupt counts the overhead correlates with.
+   Paper reference: baseline {171, 177, 1530, 3730, 290} ms, StopWatch
+   {350, 401, 3230, 5754, 382} ms, interrupts {31, 38, 183, 293, 27};
+   max overhead 2.3x (blackscholes). *)
+
+open Sw_experiments
+module Pb = Parsec_bench
+
+let paper_values =
+  [
+    ("ferret", 171., 350.);
+    ("blackscholes", 177., 401.);
+    ("canneal", 1530., 3230.);
+    ("dedup", 3730., 5754.);
+    ("streamcluster", 290., 382.);
+  ]
+
+let run () =
+  Tables.section "Fig. 7 — PARSEC application runtimes and disk interrupts";
+  Tables.header ~width:13
+    [ "app"; "base ms"; "sw ms"; "ratio"; "ints"; "paper b"; "paper sw"; "viol" ];
+  List.iter
+    (fun (profile : Sw_apps.Parsec.profile) ->
+      let b = Pb.run ~stopwatch:false profile in
+      let s = Pb.run ~stopwatch:true profile in
+      let paper_b, paper_s =
+        match List.assoc_opt profile.Sw_apps.Parsec.name
+                (List.map (fun (n, b, s) -> (n, (b, s))) paper_values)
+        with
+        | Some (b, s) -> (b, s)
+        | None -> (nan, nan)
+      in
+      Tables.row ~width:13
+        [
+          profile.Sw_apps.Parsec.name;
+          Tables.f0 b.Pb.runtime_ms;
+          Tables.f0 s.Pb.runtime_ms;
+          Tables.f2 (s.Pb.runtime_ms /. b.Pb.runtime_ms);
+          string_of_int s.Pb.disk_interrupts;
+          Tables.f0 paper_b;
+          Tables.f0 paper_s;
+          string_of_int s.Pb.delta_d_violations;
+        ])
+    Sw_apps.Parsec.all_profiles

@@ -1,0 +1,46 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md's per-experiment index), plus ablations and
+   bechamel micro-benchmarks.
+
+   Usage: main.exe [experiment ...]
+   where experiment is one of fig1 fig2 fig4 fig5 fig6 fig7 fig8 placement
+   theorems collusion ablation micro, or nothing / "all" for everything. *)
+
+let experiments =
+  [
+    ("fig1", Fig1.run);
+    ("fig2", Fig2.run);
+    ("fig4", Fig4.run);
+    ("fig5", Fig5.run);
+    ("fig6", Fig6.run);
+    ("fig7", Fig7.run);
+    ("fig8", Fig8.run);
+    ("placement", Bench_placement.run);
+    ("utilization", Bench_utilization.run);
+    ("theorems", Bench_theorems.run);
+    ("collusion", Bench_collusion.run);
+    ("ablation", Bench_ablation.run);
+    ("scale", Bench_scale.run);
+    ("micro", Bench_micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: rest when rest <> [] && rest <> [ "all" ] -> rest
+    | _ -> List.map fst experiments
+  in
+  let t0 = Sys.time () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          let t = Sys.time () in
+          f ();
+          Printf.printf "\n[%s done in %.1f s]\n%!" name (Sys.time () -. t)
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested;
+  Printf.printf "\nTotal: %.1f s\n" (Sys.time () -. t0)

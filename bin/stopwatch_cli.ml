@@ -1,0 +1,174 @@
+(* Command-line front end for the StopWatch library:
+     stopwatch plan     -- replica placement planning (Sec. VIII)
+     stopwatch download -- file-retrieval benchmark (Fig. 5 point)
+     stopwatch nfs      -- NFS latency benchmark (Fig. 6 point)
+     stopwatch parsec   -- PARSEC runtime benchmark (Fig. 7 row)
+     stopwatch attack   -- timing-attack scenario (Fig. 4 / Sec. IX)  *)
+
+open Cmdliner
+
+(* --- plan -------------------------------------------------------------- *)
+
+let plan_cmd =
+  let run n c greedy =
+    let module P = Sw_placement.Placement in
+    let plan_result =
+      if greedy then Ok (P.greedy_place ~n ~c ~k:max_int)
+      else P.theorem2_place ~n ~c ~k:(P.theorem2_bound ~n ~c)
+    in
+    match plan_result with
+    | Error e ->
+        Printf.eprintf "error: %s (try --greedy for arbitrary n)\n" e;
+        1
+    | Ok plan ->
+        (match P.verify plan with
+        | Ok () -> ()
+        | Error e -> failwith ("invalid plan: " ^ e));
+        let k = List.length plan.P.placements in
+        List.iteri
+          (fun vm tri ->
+            Printf.printf "vm%d: %s\n" vm
+              (String.concat ","
+                 (List.map string_of_int (Sw_placement.Triangle.vertices tri))))
+          plan.P.placements;
+        Printf.printf
+          "# %d guest VMs on %d machines (capacity %d); utilisation %.0f%%; \
+           isolation bound %d\n"
+          k n c
+          (100. *. P.utilization plan)
+          (P.isolation_bound ~n);
+        0
+  in
+  let n = Arg.(value & opt int 15 & info [ "n"; "machines" ] ~doc:"Machine count.") in
+  let c = Arg.(value & opt int 5 & info [ "c"; "capacity" ] ~doc:"Guests per machine.") in
+  let greedy =
+    Arg.(value & flag & info [ "greedy" ] ~doc:"Use the greedy packer (any n).")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Plan replica placement under the StopWatch constraint")
+    Term.(const run $ n $ c $ greedy)
+
+(* --- download ----------------------------------------------------------- *)
+
+let download_cmd =
+  let run size_kb udp baseline runs =
+    let open Sw_experiments in
+    let protocol = if udp then File_transfer.Udp else File_transfer.Http in
+    let o =
+      File_transfer.run ~protocol ~stopwatch:(not baseline)
+        ~size_bytes:(size_kb * 1024) ~runs ()
+    in
+    Printf.printf "%s %d KB, %s: %.1f ms (mean of %d runs; divergences %d)\n"
+      (if udp then "UDP" else "HTTP")
+      size_kb
+      (if baseline then "baseline" else "stopwatch")
+      o.File_transfer.elapsed_ms runs o.File_transfer.divergences;
+    0
+  in
+  let size = Arg.(value & opt int 100 & info [ "size" ] ~doc:"File size in KB.") in
+  let udp = Arg.(value & flag & info [ "udp" ] ~doc:"UDP+NAK instead of HTTP.") in
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Unmodified Xen instead of StopWatch.")
+  in
+  let runs = Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Averaging runs.") in
+  Cmd.v
+    (Cmd.info "download" ~doc:"Time a file retrieval (Fig. 5 point)")
+    Term.(const run $ size $ udp $ baseline $ runs)
+
+(* --- nfs ------------------------------------------------------------------ *)
+
+let nfs_cmd =
+  let run rate ops baseline =
+    let open Sw_experiments in
+    let o = Nfs_bench.run ~stopwatch:(not baseline) ~rate_per_s:rate ~ops () in
+    Printf.printf
+      "NFS @ %.0f ops/s (%s): mean %.2f ms/op, %d/%d completed, %.2f c2s pkt/op, \
+       %.2f s2c pkt/op\n"
+      rate
+      (if baseline then "baseline" else "stopwatch")
+      o.Nfs_bench.mean_latency_ms o.Nfs_bench.completed o.Nfs_bench.issued
+      o.Nfs_bench.client_to_server_per_op o.Nfs_bench.server_to_client_per_op;
+    0
+  in
+  let rate = Arg.(value & opt float 100. & info [ "rate" ] ~doc:"Offered ops/s.") in
+  let ops = Arg.(value & opt int 600 & info [ "ops" ] ~doc:"Total operations.") in
+  let baseline = Arg.(value & flag & info [ "baseline" ] ~doc:"Unmodified Xen.") in
+  Cmd.v
+    (Cmd.info "nfs" ~doc:"NFS latency under load (Fig. 6 point)")
+    Term.(const run $ rate $ ops $ baseline)
+
+(* --- parsec ----------------------------------------------------------------- *)
+
+let parsec_cmd =
+  let run name baseline =
+    let open Sw_experiments in
+    match
+      List.find_opt
+        (fun (p : Sw_apps.Parsec.profile) -> p.Sw_apps.Parsec.name = name)
+        Sw_apps.Parsec.all_profiles
+    with
+    | None ->
+        Printf.eprintf "unknown app %S; available: %s\n" name
+          (String.concat ", "
+             (List.map
+                (fun (p : Sw_apps.Parsec.profile) -> p.Sw_apps.Parsec.name)
+                Sw_apps.Parsec.all_profiles));
+        1
+    | Some profile ->
+        let o = Parsec_bench.run ~stopwatch:(not baseline) profile in
+        Printf.printf "%s (%s): %.0f ms, %d disk interrupts, %d dd-violations\n" name
+          (if baseline then "baseline" else "stopwatch")
+          o.Parsec_bench.runtime_ms o.Parsec_bench.disk_interrupts
+          o.Parsec_bench.delta_d_violations;
+        0
+  in
+  let app_name =
+    Arg.(value & pos 0 string "ferret" & info [] ~docv:"APP" ~doc:"PARSEC app name.")
+  in
+  let baseline = Arg.(value & flag & info [ "baseline" ] ~doc:"Unmodified Xen.") in
+  Cmd.v
+    (Cmd.info "parsec" ~doc:"Run a PARSEC-like workload (Fig. 7 row)")
+    Term.(const run $ app_name $ baseline)
+
+(* --- attack ------------------------------------------------------------------- *)
+
+let attack_cmd =
+  let run seconds baseline victim colluder replicas =
+    let module S = Sw_attack.Scenario in
+    let spec =
+      S.with_replicas
+        {
+          S.default with
+          S.duration = Sw_sim.Time.s seconds;
+          baseline;
+          victim;
+          colluder;
+        }
+        replicas
+    in
+    let r = S.run spec in
+    let obs = r.S.attacker_inter_delivery_ms in
+    let n = Array.length obs in
+    let mean = Array.fold_left ( +. ) 0. obs /. float_of_int n in
+    Printf.printf
+      "%s replicas=%d victim=%b colluder=%b: %d deliveries, mean inter-delivery \
+       %.2f ms, divergences %d\n"
+      (if baseline then "baseline" else "stopwatch")
+      replicas victim colluder r.S.deliveries mean r.S.divergences;
+    0
+  in
+  let seconds = Arg.(value & opt int 20 & info [ "seconds" ] ~doc:"Duration.") in
+  let baseline = Arg.(value & flag & info [ "baseline" ] ~doc:"Unmodified Xen.") in
+  let victim = Arg.(value & flag & info [ "victim" ] ~doc:"Coresident victim.") in
+  let colluder = Arg.(value & flag & info [ "colluder" ] ~doc:"Sec. IX colluder.") in
+  let replicas = Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.") in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run a timing-attack scenario (Fig. 4 / Sec. IX)")
+    Term.(const run $ seconds $ baseline $ victim $ colluder $ replicas)
+
+let () =
+  let doc = "StopWatch: replicated-VM timing-channel mitigation (simulated)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "stopwatch" ~doc)
+          [ plan_cmd; download_cmd; nfs_cmd; parsec_cmd; attack_cmd ]))

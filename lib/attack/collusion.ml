@@ -1,0 +1,41 @@
+type row = {
+  label : string;
+  replicas : int;
+  colluder : bool;
+  observations : (float * float) list;
+  divergences : int;
+  loaded_replica_share : float;
+}
+
+let table ?(duration = Sw_sim.Time.s 40) ?(ping_rate = 40.) ?(seed = 0xC0_11D3L) () =
+  let base =
+    {
+      Scenario.default with
+      Scenario.duration;
+      ping_rate_per_s = ping_rate;
+      seed;
+    }
+  in
+  let detect spec =
+    let null = Scenario.run { spec with Scenario.victim = false } in
+    let alt = Scenario.run { spec with Scenario.victim = true } in
+    let observations =
+      Distinguisher.sweep_empirical
+        ~null:null.Scenario.attacker_inter_delivery_ms
+        ~alt:alt.Scenario.attacker_inter_delivery_ms ()
+    in
+    let share =
+      match alt.Scenario.median_share with [||] -> nan | a -> a.(0)
+    in
+    (observations, alt.Scenario.divergences, share)
+  in
+  List.map
+    (fun (label, replicas, colluder) ->
+      let spec = Scenario.with_replicas { base with Scenario.colluder } replicas in
+      let observations, divergences, loaded_replica_share = detect spec in
+      { label; replicas; colluder; observations; divergences; loaded_replica_share })
+    [
+      ("3 replicas, no colluder", 3, false);
+      ("3 replicas, colluder on shared machine", 3, true);
+      ("5 replicas, colluder on shared machine", 5, true);
+    ]

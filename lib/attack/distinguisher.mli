@@ -1,0 +1,32 @@
+(** The attacker's statistical test: how many timing observations are needed
+    to tell "coresident with the victim" from "not coresident", at a given
+    confidence — the y-axis of Figs. 1(b), 1(c) and 4(b). *)
+
+(** [analytic ~null ~alt ~bins ~confidence] bins the null distribution into
+    [bins] equiprobable bins and returns the expected observation count for a
+    chi-square rejection of the null when sampling from [alt]. *)
+val analytic :
+  null:Sw_stats.Dist.t -> alt:Sw_stats.Dist.t -> ?bins:int -> confidence:float -> unit -> float
+
+(** [empirical ~null ~alt ~bins ~confidence] is the same computation from raw
+    samples: bin edges are the null sample's quantiles; bin probabilities are
+    the empirical frequencies. Requires both samples non-empty. *)
+val empirical :
+  null:float array -> alt:float array -> ?bins:int -> confidence:float -> unit -> float
+
+(** Convenience sweep over the paper's confidence grid
+    (0.70, 0.75, ..., 0.95, 0.99). *)
+val confidence_grid : float list
+
+val sweep_analytic :
+  null:Sw_stats.Dist.t -> alt:Sw_stats.Dist.t -> ?bins:int -> unit -> (float * float) list
+
+val sweep_empirical :
+  null:float array -> alt:float array -> ?bins:int -> unit -> (float * float) list
+
+(** Kolmogorov–Smirnov alternative: observations until the two-sample KS
+    statistic of an [n]-sample from the alternative exceeds the critical
+    value at [confidence] against the null — a cross-check that the defence
+    does not merely fool the chi-square binning. *)
+val ks_observations_needed :
+  null:float array -> alt:float array -> confidence:float -> float

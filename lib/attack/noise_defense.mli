@@ -1,0 +1,34 @@
+(** The uniform-noise alternative defence and its comparison against
+    StopWatch at equal protection (paper Appendix, Fig. 8).
+
+    The alternative adds noise XN ~ U(0, b) to each event timing instead of
+    replicating VMs. For a fair comparison the paper fixes the number of
+    observations the attacker needs under StopWatch (to distinguish victim
+    from no-victim at a given confidence) and finds the minimum [b] giving
+    the attacker the same confidence after the same number of observations;
+    expected delays of the two defences are then compared. *)
+
+type row = {
+  confidence : float;
+  observations : float;  (** Observations needed under StopWatch. *)
+  b : float;  (** Minimum uniform-noise bound matching that protection. *)
+  delay_stopwatch : float;  (** E[X_(2:3) + delta_n], no victim. *)
+  delay_stopwatch_victim : float;  (** E[X'_(2:3) + delta_n]. *)
+  delay_noise : float;  (** E[X_1 + XN]. *)
+  delay_noise_victim : float;  (** E[X'_1 + XN]. *)
+}
+
+(** [delta_n_for ~lambda ~lambda' ~coverage] is the smallest d with
+    P(|X1 - X'1| <= d) >= coverage for X1 ~ Exp(lambda), X'1 ~ Exp(lambda')
+    independent — the paper sets coverage = 0.9999. *)
+val delta_n_for : lambda:float -> lambda':float -> coverage:float -> float
+
+(** [compare ~lambda ~lambda' ?bins ?confidences ()] computes one row per
+    confidence (default: the paper's grid for Fig. 8). *)
+val compare :
+  lambda:float ->
+  lambda':float ->
+  ?bins:int ->
+  ?confidences:float list ->
+  unit ->
+  row list

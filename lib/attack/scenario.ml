@@ -1,0 +1,119 @@
+module Time = Sw_sim.Time
+module Address = Sw_net.Address
+module Cloud = Stopwatch.Cloud
+module Host = Stopwatch.Host
+module Probe = Sw_apps.Probe
+
+type spec = {
+  config : Sw_vmm.Config.t;
+  baseline : bool;
+  victim : bool;
+  colluder : bool;
+  colluder_burst : int;
+  ping_rate_per_s : float;
+  duration : Time.t;
+  seed : int64;
+  background_rate_per_s : float;
+}
+
+let default =
+  {
+    config = Sw_vmm.Config.default;
+    baseline = false;
+    victim = false;
+    colluder = false;
+    colluder_burst = 18;
+    ping_rate_per_s = 40.;
+    duration = Time.s 60;
+    seed = 0xA77ACCL;
+    background_rate_per_s = 0.;
+  }
+
+let with_replicas spec m =
+  { spec with config = { spec.config with Sw_vmm.Config.replicas = m } }
+
+type result = {
+  attacker_inter_delivery_ms : float array;
+  observer_inter_arrival_ms : float array;
+  deliveries : int;
+  divergences : int;
+  median_share : float array;
+}
+
+(* Machine layout (StopWatch mode, m replicas):
+   - attacker on 0 .. m-1
+   - victim on m-1 .. 2m-2        (shares exactly machine m-1)
+   - colluder on 0, 2m-1 .. 3m-3  (shares exactly machine 0)
+   In baseline mode everything lands on machine 0. *)
+let run spec =
+  let m = spec.config.Sw_vmm.Config.replicas in
+  let machines = if spec.baseline then 1 else (3 * m) - 2 in
+  let cloud = Cloud.create ~config:spec.config ~seed:spec.seed ~machines () in
+  let deploy_guest ~on ~app =
+    if spec.baseline then Cloud.deploy_baseline cloud ~on:0 ~app
+    else Cloud.deploy cloud ~on ~app
+  in
+  let pinger = Cloud.add_host cloud () in
+  let observer = Cloud.add_host cloud () in
+  let victim_sink = Cloud.add_host cloud () in
+  let attacker =
+    deploy_guest
+      ~on:(List.init m (fun i -> i))
+      ~app:(Probe.receiver ~echo_to:(Host.address observer) ~echo_every:1 ())
+  in
+  if spec.victim then begin
+    let on = List.init m (fun i -> m - 1 + i) in
+    ignore
+      (deploy_guest ~on
+         ~app:
+           (Probe.streamer
+              ~sink:(Host.address victim_sink)
+              ~period:(Time.ms 5) ~burst:72 ~bytes_per_packet:1400 ~disk_every:2 ()))
+  end;
+  if spec.colluder then begin
+    let on = 0 :: List.init (m - 1) (fun i -> (2 * m) - 1 + i) in
+    ignore
+      (deploy_guest ~on
+         ~app:
+           (Probe.load_generator
+              ~sink:(Host.address victim_sink)
+              ~period:(Time.ms 1) ~burst:spec.colluder_burst ~disk_every:1 ()))
+  end;
+  if spec.background_rate_per_s > 0. then
+    Cloud.start_background cloud ~rate_per_s:spec.background_rate_per_s ();
+  (* Poisson ping stream toward the attacker VM. *)
+  let rng = Sw_sim.Prng.create (Int64.add spec.seed 17L) in
+  let attacker_addr = Cloud.vm_address attacker in
+  let count = ref 0 in
+  let rec ping () =
+    let gap = Sw_sim.Prng.exponential rng ~rate:spec.ping_rate_per_s in
+    Host.after pinger (Time.of_float_s gap) (fun () ->
+        incr count;
+        Host.send pinger ~dst:attacker_addr ~size:100 (Probe.Probe_ping !count);
+        ping ())
+  in
+  ping ();
+  Cloud.run cloud ~until:spec.duration;
+  (* All replicas observe identical virtual delivery times; read the one
+     coresident with the victim when present, else the first. *)
+  let instance =
+    let observed_machine = if spec.baseline then 0 else m - 1 in
+    match Cloud.replica_on attacker ~machine:observed_machine with
+    | Some i -> i
+    | None -> List.hd (Cloud.replicas attacker)
+  in
+  let median_share =
+    if spec.baseline then [||]
+    else begin
+      let counts = Sw_vmm.Vmm.median_source_counts instance in
+      let total = Array.fold_left ( +. ) 0. counts in
+      if total = 0. then counts else Array.map (fun c -> c /. total) counts
+    end
+  in
+  {
+    attacker_inter_delivery_ms = Sw_vmm.Vmm.inter_delivery_virts_ms instance;
+    observer_inter_arrival_ms = Host.inter_arrival_ms observer;
+    deliveries = Sw_vmm.Vmm.net_deliveries instance;
+    divergences = Cloud.divergences attacker;
+    median_share;
+  }

@@ -1,0 +1,45 @@
+(** Full-simulation attack scenarios (paper Secs. V-B and IX; Fig. 4).
+
+    The attacker VM receives a Poisson packet stream from an external pinger
+    and observes inter-delivery times on its virtual clock; an external
+    observer host receives the attacker's echoes and measures real
+    inter-arrival times. A victim VM, when present, shares exactly one
+    machine with the attacker and continuously serves a file (disk + NIC +
+    device-model CPU load). Optionally a collaborating attacker VM shares a
+    different one of the attacker's machines and generates heavy load there
+    to marginalise that replica from the median (Sec. IX). *)
+
+type spec = {
+  config : Sw_vmm.Config.t;
+  baseline : bool;  (** Unmodified Xen instead of StopWatch. *)
+  victim : bool;
+  colluder : bool;
+  colluder_burst : int;
+      (** Packets per 1 ms burst the colluder pushes through its machine's
+          device models; sized to out-load the victim (Sec. IX). *)
+  ping_rate_per_s : float;
+  duration : Sw_sim.Time.t;
+  seed : int64;
+  background_rate_per_s : float;  (** ARP-like broadcast noise; 0 disables. *)
+}
+
+val default : spec
+
+(** [with_replicas spec m] adjusts the attacker/victim replica count
+    (Sec. IX's 3-vs-5 comparison). *)
+val with_replicas : spec -> int -> spec
+
+type result = {
+  attacker_inter_delivery_ms : float array;
+      (** Virtual inter-delivery times at the attacker (internal channel). *)
+  observer_inter_arrival_ms : float array;
+      (** Real inter-arrival times at the external observer. *)
+  deliveries : int;
+  divergences : int;
+  median_share : float array;
+      (** Fraction of deliveries whose median adopted each replica's
+          proposal; replica 0 is the colluder-loaded machine, replica m-1
+          the victim-shared one. Empty in baseline mode. *)
+}
+
+val run : spec -> result

@@ -1,0 +1,193 @@
+module Time = Sw_sim.Time
+module Engine = Sw_sim.Engine
+module Address = Sw_net.Address
+
+type deployment = {
+  vm : int;
+  group : Sw_vmm.Replica_group.t;
+  instances : (int * Sw_vmm.Vmm.instance) list;  (** (machine id, instance) *)
+}
+
+type t = {
+  engine : Engine.t;
+  network : Sw_net.Network.t;
+  config : Sw_vmm.Config.t;
+  machines : Sw_vmm.Machine.t array;
+  vmms : Sw_vmm.Vmm.t array;
+  ingress : Sw_net.Ingress.t;
+  egress : Sw_net.Egress.t;
+  rng : Sw_sim.Prng.t;
+  mutable next_vm : int;
+  mutable next_host : int;
+  mutable deployments : deployment list;
+}
+
+let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
+    ?(default_link = Sw_net.Network.lan) ?(rate_spread = 0.)
+    ?(clock_spread = Time.zero) ~machines () =
+  if machines < 1 then invalid_arg "Cloud.create: need at least one machine";
+  if rate_spread < 0. || rate_spread >= 1. then
+    invalid_arg "Cloud.create: rate_spread must be in [0, 1)";
+  Sw_vmm.Config.validate config;
+  let engine = Engine.create ~seed () in
+  let hw_rng = Engine.rng engine in
+  let network = Sw_net.Network.create engine ~default:default_link in
+  let machine_arr =
+    Array.init machines (fun id ->
+        let rate_multiplier =
+          if rate_spread = 0. then 1.0
+          else Sw_sim.Prng.uniform hw_rng ~lo:(1. -. rate_spread) ~hi:(1. +. rate_spread)
+        in
+        let clock_offset =
+          if Time.equal clock_spread Time.zero then Time.zero
+          else begin
+            let bound = Int64.to_int clock_spread in
+            Time.ns (Sw_sim.Prng.int hw_rng ((2 * bound) + 1) - bound)
+          end
+        in
+        Sw_vmm.Machine.create engine network ~id ~config ~rate_multiplier
+          ~clock_offset ())
+  in
+  let vmms = Array.map Sw_vmm.Vmm.create machine_arr in
+  {
+    engine;
+    network;
+    config;
+    machines = machine_arr;
+    vmms;
+    ingress = Sw_net.Ingress.create network;
+    egress = Sw_net.Egress.create network;
+    rng = Engine.rng engine;
+    next_vm = 0;
+    next_host = 0;
+    deployments = [];
+  }
+
+let engine t = t.engine
+let network t = t.network
+let config t = t.config
+
+let machine t i =
+  if i < 0 || i >= Array.length t.machines then
+    invalid_arg "Cloud.machine: index out of range";
+  t.machines.(i)
+
+let machine_count t = Array.length t.machines
+let ingress t = t.ingress
+let egress t = t.egress
+
+let fresh_vm_id t =
+  let id = t.next_vm in
+  t.next_vm <- id + 1;
+  id
+
+let deploy ?config t ~on ~app =
+  let config = match config with Some c -> c | None -> t.config in
+  Sw_vmm.Config.validate config;
+  if List.length on <> config.Sw_vmm.Config.replicas then
+    invalid_arg
+      (Printf.sprintf "Cloud.deploy: expected %d machines, got %d"
+         config.Sw_vmm.Config.replicas (List.length on));
+  if List.length (List.sort_uniq Stdlib.compare on) <> List.length on then
+    invalid_arg "Cloud.deploy: machines must be distinct";
+  List.iter (fun m -> ignore (machine t m)) on;
+  let vm = fresh_vm_id t in
+  let group =
+    Sw_vmm.Replica_group.create ~vm ~config ~mode:Sw_vmm.Replica_group.Stopwatch
+  in
+  (* The VM's PGM-style channel: the ingress replicates inbound packets over
+     it, the VMMs exchange proposals and epoch reports on it. *)
+  let channel =
+    Sw_net.Multicast.group t.network
+      ~members:(Address.Ingress :: List.map (fun m -> Address.Vmm m) on)
+      ~nak_delay:config.Sw_vmm.Config.mcast_nak_delay
+      ?heartbeat:config.Sw_vmm.Config.mcast_heartbeat ()
+  in
+  (* Start negotiation (Sec. IV-A): the hosting VMMs exchange their clock
+     readings and every replica's virtual clock starts at the median. *)
+  let start =
+    Sw_vmm.Replica_group.median_time
+      (Array.of_list (List.map (fun m -> Sw_vmm.Machine.local_time t.machines.(m)) on))
+  in
+  let instances =
+    List.map
+      (fun m ->
+        let peers =
+          List.filter_map
+            (fun m' -> if m' = m then None else Some (Address.Vmm m'))
+            on
+        in
+        (m, Sw_vmm.Vmm.host ~channel ~start t.vmms.(m) ~group ~app ~peers))
+      on
+  in
+  Sw_net.Ingress.register_vm ~channel t.ingress ~vm
+    ~replica_vmms:(List.map (fun m -> Address.Vmm m) on);
+  Sw_net.Egress.register_vm t.egress ~vm ~replicas:config.Sw_vmm.Config.replicas;
+  let d = { vm; group; instances } in
+  t.deployments <- d :: t.deployments;
+  d
+
+let deploy_baseline ?config t ~on ~app =
+  let config = match config with Some c -> c | None -> t.config in
+  let config = { config with Sw_vmm.Config.replicas = 1 } in
+  Sw_vmm.Config.validate config;
+  ignore (machine t on);
+  let vm = fresh_vm_id t in
+  let group =
+    Sw_vmm.Replica_group.create ~vm ~config ~mode:Sw_vmm.Replica_group.Baseline
+  in
+  let instance = Sw_vmm.Vmm.host t.vmms.(on) ~group ~app ~peers:[] in
+  (* Baseline traffic routes straight to the hosting machine. *)
+  Sw_net.Network.set_route t.network ~dst:(Address.Vm vm) ~via:(Address.Vmm on);
+  let d = { vm; group; instances = [ (on, instance) ] } in
+  t.deployments <- d :: t.deployments;
+  d
+
+let deploy_plan t ~plan ~app =
+  if plan.Sw_placement.Placement.machines > Array.length t.machines then
+    invalid_arg "Cloud.deploy_plan: plan needs more machines than the cloud has";
+  (match Sw_placement.Placement.verify plan with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Cloud.deploy_plan: invalid plan: " ^ reason));
+  List.map
+    (fun tri -> deploy t ~on:(Sw_placement.Triangle.vertices tri) ~app)
+    plan.Sw_placement.Placement.placements
+
+let vm_id d = d.vm
+let vm_address d = Address.Vm d.vm
+let replicas d = List.map snd d.instances
+
+let replica_on d ~machine =
+  List.assoc_opt machine d.instances
+
+let group d = d.group
+let divergences d = Sw_vmm.Replica_group.divergences d.group
+let skew_blocks d = Sw_vmm.Replica_group.skew_blocks d.group
+
+let add_host t ?link () =
+  let id = t.next_host in
+  t.next_host <- id + 1;
+  Host.create t.network ~id ?link ()
+
+let start_background t ~rate_per_s ?(size = 64) () =
+  if rate_per_s <= 0. then invalid_arg "Cloud.start_background: rate must be positive";
+  let rec arrival () =
+    let gap = Sw_sim.Prng.exponential t.rng ~rate:rate_per_s in
+    ignore
+      (Engine.schedule_after t.engine (Time.of_float_s gap) (fun () ->
+           List.iter
+             (fun d ->
+               let pkt =
+                 Sw_net.Packet.make ~src:Address.Broadcast_addr
+                   ~dst:(Address.Vm d.vm) ~size
+                   ~seq:(Sw_net.Network.fresh_seq t.network)
+                   (Sw_net.Packet.Background (Sw_net.Network.fresh_seq t.network))
+               in
+               Sw_net.Network.send t.network pkt)
+             t.deployments;
+           arrival ()))
+  in
+  arrival ()
+
+let run t ~until = Engine.run ~until t.engine
+let run_span t span = Engine.run ~until:(Time.add (Engine.now t.engine) span) t.engine

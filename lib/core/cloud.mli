@@ -1,0 +1,89 @@
+(** The top-level StopWatch cloud: machines, ingress/egress nodes, VM
+    deployment, and simulation control.
+
+    Typical use:
+    {[
+      let cloud = Cloud.create ~machines:3 () in
+      let vm = Cloud.deploy cloud ~on:[ 0; 1; 2 ] ~app:my_app in
+      let client = Cloud.add_host cloud () in
+      ...
+      Cloud.run cloud ~until:(Sw_sim.Time.s 10)
+    ]} *)
+
+type t
+
+type deployment
+
+(** [create ?config ?seed ?default_link ?rate_spread ?clock_spread ~machines ()]
+    builds a cloud of [machines] physical machines, one ingress and one
+    egress node, over a fresh simulation engine. [rate_spread] gives each
+    machine a uniformly drawn execution-speed multiplier in
+    [1 ± rate_spread] (heterogeneous hardware; replicas then skew in real
+    time and the skew limiter becomes active); [clock_spread] draws each
+    machine's real-time-clock error uniformly from [± clock_spread]. Both
+    default to zero (identical machines). *)
+val create :
+  ?config:Sw_vmm.Config.t ->
+  ?seed:int64 ->
+  ?default_link:Sw_net.Network.link_params ->
+  ?rate_spread:float ->
+  ?clock_spread:Sw_sim.Time.t ->
+  machines:int ->
+  unit ->
+  t
+
+(** Times the skew limiter has descheduled this VM's fastest replica. *)
+val skew_blocks : deployment -> int
+
+val engine : t -> Sw_sim.Engine.t
+val network : t -> Sw_net.Network.t
+val config : t -> Sw_vmm.Config.t
+val machine : t -> int -> Sw_vmm.Machine.t
+val machine_count : t -> int
+val ingress : t -> Sw_net.Ingress.t
+val egress : t -> Sw_net.Egress.t
+
+(** [deploy t ?config ~on ~app] starts a guest VM under StopWatch with one
+    replica per machine in [on] (length must equal the configured replica
+    count, machines distinct). Returns the deployment handle; the VM's
+    address is [Address.Vm (vm_id d)]. *)
+val deploy :
+  ?config:Sw_vmm.Config.t -> t -> on:int list -> app:Sw_vm.App.factory -> deployment
+
+(** [deploy_baseline t ?config ~on ~app] starts an unreplicated guest on
+    machine [on] over the unmodified-Xen baseline. *)
+val deploy_baseline :
+  ?config:Sw_vmm.Config.t -> t -> on:int -> app:Sw_vm.App.factory -> deployment
+
+(** [deploy_plan t ~plan ~app] deploys one StopWatch VM per triangle of a
+    placement plan (all with the same app factory); returns deployments in
+    plan order. *)
+val deploy_plan :
+  t -> plan:Sw_placement.Placement.plan -> app:Sw_vm.App.factory -> deployment list
+
+val vm_id : deployment -> int
+val vm_address : deployment -> Sw_net.Address.t
+val replicas : deployment -> Sw_vmm.Vmm.instance list
+
+(** The replica on a given machine, if any. *)
+val replica_on : deployment -> machine:int -> Sw_vmm.Vmm.instance option
+
+val group : deployment -> Sw_vmm.Replica_group.t
+
+(** Synchrony violations recorded for this VM (paper footnote 4). *)
+val divergences : deployment -> int
+
+(** [add_host t ?link ()] creates an external host with a fresh id. *)
+val add_host : t -> ?link:Sw_net.Network.link_params -> unit -> Host.t
+
+(** [start_background t ~rate_per_s ~size ()] emits ARP-like broadcast noise:
+    Poisson arrivals addressed to every deployed VM (replicated through the
+    ingress exactly like guest traffic, as in the paper's testbed). Runs for
+    the rest of the simulation. *)
+val start_background : t -> rate_per_s:float -> ?size:int -> unit -> unit
+
+(** [run t ~until] advances the simulation. *)
+val run : t -> until:Sw_sim.Time.t -> unit
+
+(** [run_span t span] advances by [span] from the current time. *)
+val run_span : t -> Sw_sim.Time.t -> unit

@@ -1,0 +1,95 @@
+module Time = Sw_sim.Time
+module Engine = Sw_sim.Engine
+
+type params = {
+  max_seek : Time.t;
+  max_rotation : Time.t;
+  transfer_bps : int;
+  sequential_seek_fraction : float;
+}
+
+let default_params =
+  {
+    max_seek = Time.ms 3;
+    max_rotation = Time.ms 4;
+    transfer_bps = 100_000_000;
+    sequential_seek_fraction = 0.05;
+  }
+
+let ssd_params =
+  {
+    max_seek = Time.us 60;
+    max_rotation = Time.zero;
+    transfer_bps = 500_000_000;
+    sequential_seek_fraction = 1.0;
+  }
+
+type kind = Read | Write
+
+type t = {
+  engine : Engine.t;
+  params : params;
+  rng : Sw_sim.Prng.t;
+  mutable free_at : Time.t;  (** When the head becomes available. *)
+  mutable completed : int;
+  per_vm : (int, int) Hashtbl.t;
+  mutable busy_time : Time.t;
+  mutable max_service : Time.t;
+}
+
+let create engine ?(params = default_params) () =
+  {
+    engine;
+    params;
+    rng = Engine.rng engine;
+    free_at = Time.zero;
+    completed = 0;
+    per_vm = Hashtbl.create 8;
+    busy_time = Time.zero;
+    max_service = Time.zero;
+  }
+
+let draw_upto rng limit =
+  if Time.equal limit Time.zero then Time.zero
+  else Time.ns (Sw_sim.Prng.int rng (1 + Int64.to_int limit))
+
+let service_time t ~bytes ~sequential =
+  let p = t.params in
+  let scale_seq full =
+    if sequential then Time.scale full p.sequential_seek_fraction else full
+  in
+  (* Sequential requests continue on-track: both the seek and the rotational
+     positioning shrink by the sequential fraction. *)
+  let seek = scale_seq (draw_upto t.rng p.max_seek) in
+  let rotation = scale_seq (draw_upto t.rng p.max_rotation) in
+  let transfer =
+    Time.ns
+      (int_of_float
+         (Float.round (float_of_int bytes *. 1e9 /. float_of_int p.transfer_bps)))
+  in
+  Time.add seek (Time.add rotation transfer)
+
+let submit t ~vm ~kind:_ ~bytes ~sequential k =
+  if bytes <= 0 then invalid_arg "Disk.submit: bytes must be positive";
+  let now = Engine.now t.engine in
+  let service = service_time t ~bytes ~sequential in
+  let start = Time.max now t.free_at in
+  let finish = Time.add start service in
+  t.free_at <- finish;
+  t.busy_time <- Time.add t.busy_time service;
+  if Time.(service > t.max_service) then t.max_service <- service;
+  ignore
+    (Engine.schedule_at t.engine finish (fun () ->
+         t.completed <- t.completed + 1;
+         (match Hashtbl.find_opt t.per_vm vm with
+         | Some n -> Hashtbl.replace t.per_vm vm (n + 1)
+         | None -> Hashtbl.add t.per_vm vm 1);
+         k ()))
+
+let completed t = t.completed
+
+let completed_for t ~vm =
+  match Hashtbl.find_opt t.per_vm vm with Some n -> n | None -> 0
+
+let busy_time t = t.busy_time
+let max_service_time t = t.max_service

@@ -1,0 +1,25 @@
+type t = { data : int array }
+
+let create ~blocks =
+  if blocks <= 0 then invalid_arg "Image.create: blocks must be positive";
+  { data = Array.make blocks 0 }
+
+let blocks t = Array.length t.data
+
+let check t i =
+  if i < 0 || i >= Array.length t.data then
+    invalid_arg "Image: block index out of range"
+
+let read t i =
+  check t i;
+  t.data.(i)
+
+let write t i v =
+  check t i;
+  t.data.(i) <- v
+
+let clone t = { data = Array.copy t.data }
+let equal t1 t2 = t1.data = t2.data
+
+let digest t =
+  Array.fold_left (fun acc v -> (acc * 1_000_003) + v + 1) 0 t.data land max_int

@@ -1,0 +1,27 @@
+(** Guest disk images as block stores.
+
+    StopWatch replicates a VM's entire disk image at start time so every
+    replica sees identical disk contents; {!clone} models that copy. Blocks
+    hold a small integer payload — enough to assert replica-state equality in
+    tests without simulating real data. *)
+
+type t
+
+(** [create ~blocks] makes an image of [blocks] zeroed blocks. *)
+val create : blocks:int -> t
+
+val blocks : t -> int
+
+(** Raises [Invalid_argument] on out-of-range block indices. *)
+val read : t -> int -> int
+
+val write : t -> int -> int -> unit
+
+(** Deep copy. *)
+val clone : t -> t
+
+(** Structural equality of contents. *)
+val equal : t -> t -> bool
+
+(** A cheap content digest for divergence checks. *)
+val digest : t -> int

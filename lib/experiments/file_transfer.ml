@@ -1,0 +1,64 @@
+module Time = Sw_sim.Time
+module Cloud = Stopwatch.Cloud
+
+type protocol = Http | Udp
+
+type outcome = {
+  elapsed_ms : float;
+  runs : float list;
+  divergences : int;
+}
+
+let paper_sizes = [ 1_024; 10_240; 102_400; 1_048_576; 10_485_760 ]
+
+let one ?config ~seed ~protocol ~stopwatch ~size_bytes () =
+  let cloud = Cloud.create ?config ~seed ~machines:3 () in
+  let app =
+    match protocol with
+    | Http -> Sw_apps.Http.server ()
+    | Udp -> Sw_apps.Udp_file.server ()
+  in
+  let d =
+    if stopwatch then Cloud.deploy cloud ~on:[ 0; 1; 2 ] ~app
+    else Cloud.deploy_baseline cloud ~on:0 ~app
+  in
+  let client = Cloud.add_host cloud () in
+  let result = ref nan in
+  (match protocol with
+  | Http ->
+      let tcp = Sw_apps.Tcp_host.attach client () in
+      Sw_apps.Http.download tcp ~dst:(Cloud.vm_address d) ~file:1 ~size:size_bytes
+        ~on_done:(fun ~elapsed_ms -> result := elapsed_ms)
+        ()
+  | Udp ->
+      Sw_apps.Udp_file.fetch client ~dst:(Cloud.vm_address d) ~file:1
+        ~size:size_bytes
+        ~on_done:(fun ~elapsed_ms ~naks:_ -> result := elapsed_ms)
+        ());
+  (* Run in short spans and stop as soon as the transfer completes, so idle
+     guests don't spin through a long fixed horizon. 120 s caps even a 10 MB
+     window-limited StopWatch download. *)
+  let rec advance elapsed_ms =
+    if Float.is_nan !result && elapsed_ms < 120_000 then begin
+      Cloud.run_span cloud (Time.ms 250);
+      advance (elapsed_ms + 250)
+    end
+  in
+  advance 0;
+  (!result, Cloud.divergences d)
+
+let run ?config ?(seed = 0xF16_5L) ~protocol ~stopwatch ~size_bytes ~runs () =
+  if runs < 1 then invalid_arg "File_transfer.run: need >= 1 run";
+  let results =
+    List.init runs (fun i ->
+        one ?config
+          ~seed:(Int64.add seed (Int64.of_int (i * 7919)))
+          ~protocol ~stopwatch ~size_bytes ())
+  in
+  let times = List.map fst results in
+  let divergences = List.fold_left (fun acc (_, d) -> acc + d) 0 results in
+  {
+    elapsed_ms = List.fold_left ( +. ) 0. times /. float_of_int runs;
+    runs = times;
+    divergences;
+  }

@@ -1,0 +1,26 @@
+(** Drivers for the Fig. 5 file-retrieval experiments: one client downloading
+    files of various sizes from a cloud-resident server, over HTTP/TCP or
+    UDP/NAK, under StopWatch or unmodified-Xen baseline. *)
+
+type protocol = Http | Udp
+
+type outcome = {
+  elapsed_ms : float;  (** Mean over runs. *)
+  runs : float list;
+  divergences : int;
+}
+
+(** [run ?config ?seed ~protocol ~stopwatch ~size_bytes ~runs ()] performs
+    [runs] fresh-cloud downloads and averages. *)
+val run :
+  ?config:Sw_vmm.Config.t ->
+  ?seed:int64 ->
+  protocol:protocol ->
+  stopwatch:bool ->
+  size_bytes:int ->
+  runs:int ->
+  unit ->
+  outcome
+
+(** The paper's file-size sweep: 1 KB to 10 MB, log-spaced. *)
+val paper_sizes : int list

@@ -1,0 +1,28 @@
+(** Driver for the Fig. 6 NFS experiments: an nhfsstone-style load generator
+    (5 client processes, the paper's op mix) against a cloud-resident NFS
+    server. *)
+
+type outcome = {
+  mean_latency_ms : float;
+  completed : int;
+  issued : int;
+  client_to_server_per_op : float;  (** TCP packets, Fig. 6(b). *)
+  server_to_client_per_op : float;
+  divergences : int;
+}
+
+val run :
+  ?config:Sw_vmm.Config.t ->
+  ?seed:int64 ->
+  stopwatch:bool ->
+  rate_per_s:float ->
+  ops:int ->
+  unit ->
+  outcome
+
+(** The paper's offered-load sweep (ops/s). *)
+val paper_rates : float list
+
+(** The NFS experiments run with delta_n at the low end of the paper's
+    observed 7-12 ms range. *)
+val nfs_config : Sw_vmm.Config.t

@@ -1,0 +1,20 @@
+(** Driver for the Fig. 7 PARSEC experiments. *)
+
+type outcome = {
+  runtime_ms : float;
+  disk_interrupts : int;
+  delta_d_violations : int;
+  divergences : int;
+}
+
+(** Config used by Fig. 7: delta_d at the low end of the paper's 8-15 ms
+    range (their disk's maximum observed access time was small for these
+    workloads' mostly-small requests). *)
+val parsec_config : Sw_vmm.Config.t
+
+val run :
+  ?config:Sw_vmm.Config.t ->
+  ?seed:int64 ->
+  stopwatch:bool ->
+  Sw_apps.Parsec.profile ->
+  outcome

@@ -1,0 +1,21 @@
+let row ~width cells =
+  print_string
+    (String.concat "  " (List.map (fun c -> Printf.sprintf "%*s" width c) cells));
+  print_newline ()
+
+let header ~width cells =
+  row ~width cells;
+  let dashes = List.map (fun c -> String.make (Stdlib.min width (String.length c + 2)) '-') cells in
+  row ~width dashes
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
+  flush stdout
+
+let subsection title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-');
+  flush stdout
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let f0 x = Printf.sprintf "%.0f" x

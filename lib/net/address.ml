@@ -1,0 +1,21 @@
+type t =
+  | Vm of int
+  | Vmm of int
+  | Host of int
+  | Ingress
+  | Egress
+  | Broadcast_addr
+
+let equal = Stdlib.( = )
+let compare = Stdlib.compare
+let hash = Hashtbl.hash
+
+let pp fmt = function
+  | Vm i -> Format.fprintf fmt "vm%d" i
+  | Vmm i -> Format.fprintf fmt "vmm%d" i
+  | Host i -> Format.fprintf fmt "host%d" i
+  | Ingress -> Format.pp_print_string fmt "ingress"
+  | Egress -> Format.pp_print_string fmt "egress"
+  | Broadcast_addr -> Format.pp_print_string fmt "broadcast"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,69 @@
+type vm_entry = {
+  replicas : int;
+  (* Copies received so far and a structural digest of the first copy,
+     keyed by the guest's deterministic packet sequence number. *)
+  pending : (int, int * int) Hashtbl.t;
+}
+
+type t = {
+  network : Network.t;
+  vms : (int, vm_entry) Hashtbl.t;
+  mutable forwarded : int;
+  mutable dropped : int;
+  mutable mismatches : int;
+  mutable tap : (vm:int -> Packet.t -> Sw_sim.Time.t -> unit) option;
+}
+
+let handle t (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | Packet.Egress_tunnel { vm; inner; _ } -> (
+      match Hashtbl.find_opt t.vms vm with
+      | None -> t.dropped <- t.dropped + 1
+      | Some entry ->
+          let key = inner.Packet.seq in
+          let digest = Hashtbl.hash (inner.Packet.dst, inner.Packet.size, inner.Packet.payload) in
+          let seen, first_digest =
+            match Hashtbl.find_opt entry.pending key with
+            | Some (n, d) -> (n, d)
+            | None -> (0, digest)
+          in
+          (* Output vote: replicas are deterministic, so all copies of one
+             sequence number must be structurally identical. *)
+          if digest <> first_digest then t.mismatches <- t.mismatches + 1;
+          let seen = seen + 1 in
+          let release_rank = (entry.replicas + 1) / 2 in
+          if seen >= entry.replicas then Hashtbl.remove entry.pending key
+          else Hashtbl.replace entry.pending key (seen, first_digest);
+          if seen = release_rank then begin
+            t.forwarded <- t.forwarded + 1;
+            (match t.tap with
+            | Some f -> f ~vm inner (Sw_sim.Engine.now (Network.engine t.network))
+            | None -> ());
+            Network.send t.network inner
+          end)
+  | _ -> t.dropped <- t.dropped + 1
+
+let create network =
+  let t =
+    {
+      network;
+      vms = Hashtbl.create 16;
+      forwarded = 0;
+      dropped = 0;
+      mismatches = 0;
+      tap = None;
+    }
+  in
+  Network.register network Address.Egress (handle t);
+  t
+
+let register_vm t ~vm ~replicas =
+  if replicas < 1 || replicas mod 2 = 0 then
+    invalid_arg "Egress.register_vm: replica count must be odd and positive";
+  Hashtbl.replace t.vms vm { replicas; pending = Hashtbl.create 64 }
+
+let unregister_vm t ~vm = Hashtbl.remove t.vms vm
+let forwarded t = t.forwarded
+let dropped t = t.dropped
+let mismatches t = t.mismatches
+let on_forward t f = t.tap <- Some f

@@ -1,0 +1,37 @@
+(** The egress node (paper Sec. VI): receives each output packet tunnelled
+    from every replica of a guest VM and forwards it to its real destination
+    upon the arrival of the copy exhibiting the median output timing (the
+    2nd of 3 copies; generally the (m+1)/2-th of m). *)
+
+type t
+
+(** Creates the node and registers it at {!Address.Egress}.
+
+    Memory note: a packet's vote entry is retired when all m copies have
+    arrived; under sustained tunnel loss the entries of incomplete packets
+    accumulate for the lifetime of the run (the tunnels are reliable in the
+    paper — TCP — so loss there is an experiment-only condition). *)
+val create : Network.t -> t
+
+(** [register_vm t ~vm ~replicas] declares the replica count of [vm]
+    (odd). *)
+val register_vm : t -> vm:int -> replicas:int -> unit
+
+val unregister_vm : t -> vm:int -> unit
+
+(** Packets forwarded to their destinations so far. *)
+val forwarded : t -> int
+
+(** Copies received from VMs the egress does not know. *)
+val dropped : t -> int
+
+(** Output-vote failures: a copy of some packet disagreed with the copy the
+    egress already held for the same sequence number. Deterministic replicas
+    always emit identical packets, so a mismatch exposes replica-state
+    divergence (the vote of Sec. II / the deterministic-output property of
+    Sec. VI). *)
+val mismatches : t -> int
+
+(** [on_forward t f] installs a tap invoked with (vm, packet, real release
+    time) at each forward — used by external-observer experiments. *)
+val on_forward : t -> (vm:int -> Packet.t -> Sw_sim.Time.t -> unit) -> unit

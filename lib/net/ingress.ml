@@ -1,0 +1,85 @@
+type vm_entry = {
+  replica_vmms : Address.t list;
+  mutable next_ingress_seq : int;
+  channel : Multicast.endpoint option;
+}
+
+type t = {
+  network : Network.t;
+  vms : (int, vm_entry) Hashtbl.t;
+  mcast_routes : (int, Multicast.endpoint) Hashtbl.t;
+  mutable dropped : int;
+  mutable replicated : int;
+}
+
+let handle t (pkt : Packet.t) =
+  if Multicast.is_mcast pkt then begin
+    (* NAKs from the replica VMMs (and their group traffic, which the
+       ingress ignores at delivery) route to the per-VM endpoint. *)
+    match Multicast.group_of_packet pkt with
+    | Some gid -> (
+        match Hashtbl.find_opt t.mcast_routes gid with
+        | Some ep -> Multicast.handle ep pkt
+        | None -> t.dropped <- t.dropped + 1)
+    | None -> t.dropped <- t.dropped + 1
+  end
+  else
+    match pkt.Packet.dst with
+    | Address.Vm vm -> (
+        match Hashtbl.find_opt t.vms vm with
+        | None -> t.dropped <- t.dropped + 1
+        | Some entry -> (
+            let ingress_seq = entry.next_ingress_seq in
+            entry.next_ingress_seq <- ingress_seq + 1;
+            t.replicated <- t.replicated + 1;
+            let payload = Packet.Guest_bound { vm; ingress_seq; inner = pkt } in
+            match entry.channel with
+            | Some ep -> Multicast.publish ep ~size:pkt.Packet.size payload
+            | None ->
+                List.iter
+                  (fun vmm ->
+                    let copy =
+                      Packet.make ~src:Address.Ingress ~dst:vmm
+                        ~size:pkt.Packet.size
+                        ~seq:(Network.fresh_seq t.network)
+                        payload
+                    in
+                    Network.send t.network copy)
+                  entry.replica_vmms))
+    | _ -> t.dropped <- t.dropped + 1
+
+let create network =
+  let t =
+    {
+      network;
+      vms = Hashtbl.create 16;
+      mcast_routes = Hashtbl.create 16;
+      dropped = 0;
+      replicated = 0;
+    }
+  in
+  Network.register network Address.Ingress (handle t);
+  t
+
+let register_vm ?channel t ~vm ~replica_vmms =
+  if replica_vmms = [] then invalid_arg "Ingress.register_vm: no replicas";
+  let endpoint =
+    Option.map
+      (fun g ->
+        (* The ingress delivers nothing itself: VMM coordination traffic on
+           the shared group is irrelevant to it. *)
+        let ep = Multicast.endpoint g ~self:Address.Ingress ~deliver:(fun _ -> ()) () in
+        Hashtbl.replace t.mcast_routes (Multicast.group_id g) ep;
+        ep)
+      channel
+  in
+  Hashtbl.replace t.vms vm
+    { replica_vmms; next_ingress_seq = 0; channel = endpoint };
+  Network.set_route t.network ~dst:(Address.Vm vm) ~via:Address.Ingress
+
+let unregister_vm t ~vm =
+  Hashtbl.remove t.vms vm;
+  Network.clear_route t.network ~dst:(Address.Vm vm)
+
+let dropped t = t.dropped
+let replicated t = t.replicated

@@ -1,0 +1,25 @@
+(** The ingress node (paper Sec. V): replicates every packet destined to a
+    guest VM to all machines hosting that VM's replicas, stamping a shared
+    [ingress_seq] so the VMMs can match delivery-time proposals. *)
+
+type t
+
+(** Creates the node and registers it at {!Address.Ingress}. *)
+val create : Network.t -> t
+
+(** [register_vm t ~vm ?channel ~replica_vmms] routes [Address.Vm vm] via
+    the ingress and replicates its inbound traffic to the given VMM
+    addresses. With [channel] (a PGM-style multicast group whose members are
+    the ingress and the replica VMMs) the copies travel reliably over the
+    group, as the paper's OpenPGM-based replication does; otherwise they are
+    plain unicast copies. *)
+val register_vm :
+  ?channel:Multicast.group -> t -> vm:int -> replica_vmms:Address.t list -> unit
+
+val unregister_vm : t -> vm:int -> unit
+
+(** Packets arriving for VMs the ingress does not know. *)
+val dropped : t -> int
+
+(** Total inbound guest packets replicated. *)
+val replicated : t -> int

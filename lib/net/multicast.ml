@@ -1,0 +1,197 @@
+module Time = Sw_sim.Time
+module Engine = Sw_sim.Engine
+
+type Packet.payload +=
+  | Mcast_data of { group : int; mseq : int; inner : Packet.payload }
+  | Mcast_nak of { group : int; origin : Address.t; from_mseq : int; to_mseq : int }
+  | Mcast_heartbeat of { group : int; last_mseq : int }
+
+let is_mcast (pkt : Packet.t) =
+  match pkt.payload with
+  | Mcast_data _ | Mcast_nak _ | Mcast_heartbeat _ -> true
+  | _ -> false
+
+let group_of_packet (pkt : Packet.t) =
+  match pkt.payload with
+  | Mcast_data { group; _ } | Mcast_nak { group; _ } | Mcast_heartbeat { group; _ }
+    ->
+      Some group
+  | _ -> None
+
+type group = {
+  network : Network.t;
+  group_id : int;
+  members : Address.t list;
+  nak_delay : Time.t;
+  heartbeat : Time.t option;
+}
+
+(* Per-sender receive state at one endpoint. *)
+type rx = {
+  mutable next_expected : int;
+  buffered : (int, Packet.t) Hashtbl.t;
+  mutable nak_pending : bool;
+}
+
+type endpoint = {
+  g : group;
+  self : Address.t;
+  transmit : Packet.t -> unit;
+  deliver : Packet.t -> unit;
+  (* Sent history for retransmission, keyed by mseq. *)
+  history : (int, Packet.t) Hashtbl.t;
+  mutable next_mseq : int;
+  rx_states : (Address.t, rx) Hashtbl.t;
+  mutable retransmissions : int;
+  mutable naks_sent : int;
+}
+
+let group_counter = ref 0
+
+let group network ~members ?(nak_delay = Time.us 200) ?heartbeat () =
+  if List.length members < 2 then invalid_arg "Multicast.group: need >= 2 members";
+  incr group_counter;
+  { network; group_id = !group_counter; members; nak_delay; heartbeat }
+
+let group_id g = g.group_id
+
+let peers e = List.filter (fun a -> not (Address.equal a e.self)) e.g.members
+
+let send_to e ~dst ~size payload =
+  let pkt =
+    Packet.make ~src:e.self ~dst ~size ~seq:(Network.fresh_seq e.g.network) payload
+  in
+  e.transmit pkt
+
+let start_heartbeat e period =
+  let engine = Network.engine e.g.network in
+  let rec tick () =
+    ignore
+      (Engine.schedule_after engine period (fun () ->
+           if e.next_mseq > 0 then
+             List.iter
+               (fun dst ->
+                 send_to e ~dst ~size:64
+                   (Mcast_heartbeat { group = e.g.group_id; last_mseq = e.next_mseq - 1 }))
+               (peers e);
+           tick ()))
+  in
+  tick ()
+
+let endpoint g ~self ?transmit ~deliver () =
+  if not (List.exists (Address.equal self) g.members) then
+    invalid_arg "Multicast.endpoint: self not a group member";
+  let transmit =
+    match transmit with Some f -> f | None -> Network.send g.network
+  in
+  let e =
+    {
+      g;
+      self;
+      transmit;
+      deliver;
+      history = Hashtbl.create 64;
+      next_mseq = 0;
+      rx_states = Hashtbl.create 8;
+      retransmissions = 0;
+      naks_sent = 0;
+    }
+  in
+  Option.iter (start_heartbeat e) g.heartbeat;
+  e
+
+let publish e ~size payload =
+  let mseq = e.next_mseq in
+  e.next_mseq <- mseq + 1;
+  let wrapped = Mcast_data { group = e.g.group_id; mseq; inner = payload } in
+  List.iter
+    (fun dst ->
+      let pkt =
+        Packet.make ~src:e.self ~dst ~size ~seq:(Network.fresh_seq e.g.network)
+          wrapped
+      in
+      Hashtbl.replace e.history mseq pkt;
+      e.transmit pkt)
+    (peers e)
+
+let rx_state e origin =
+  match Hashtbl.find_opt e.rx_states origin with
+  | Some rx -> rx
+  | None ->
+      let rx = { next_expected = 0; buffered = Hashtbl.create 8; nak_pending = false } in
+      Hashtbl.add e.rx_states origin rx;
+      rx
+
+(* Deliver any in-order buffered packets for this sender. *)
+let rec flush e rx =
+  match Hashtbl.find_opt rx.buffered rx.next_expected with
+  | None -> ()
+  | Some pkt ->
+      Hashtbl.remove rx.buffered rx.next_expected;
+      rx.next_expected <- rx.next_expected + 1;
+      e.deliver pkt;
+      flush e rx
+
+let request_missing e origin rx ~through =
+  if (not rx.nak_pending) && rx.next_expected <= through then begin
+    rx.nak_pending <- true;
+    let engine = Network.engine e.g.network in
+    ignore
+      (Engine.schedule_after engine e.g.nak_delay (fun () ->
+           rx.nak_pending <- false;
+           (* Re-check: the gap may have been filled meanwhile. *)
+           if rx.next_expected <= through then begin
+             e.naks_sent <- e.naks_sent + 1;
+             send_to e ~dst:origin ~size:64
+               (Mcast_nak
+                  {
+                    group = e.g.group_id;
+                    origin;
+                    from_mseq = rx.next_expected;
+                    to_mseq = through;
+                  })
+           end))
+  end
+
+let unwrap_data (pkt : Packet.t) ~mseq ~inner =
+  { pkt with Packet.payload = inner; seq = mseq }
+
+let handle e (pkt : Packet.t) =
+  match pkt.payload with
+  | Mcast_data { group; mseq; inner } ->
+      if group <> e.g.group_id then ()
+      else begin
+        let rx = rx_state e pkt.src in
+        if mseq < rx.next_expected then () (* duplicate *)
+        else begin
+          Hashtbl.replace rx.buffered mseq (unwrap_data pkt ~mseq ~inner);
+          if mseq > rx.next_expected then
+            request_missing e pkt.src rx ~through:(mseq - 1);
+          flush e rx
+        end
+      end
+  | Mcast_nak { group; from_mseq; to_mseq; _ } ->
+      if group <> e.g.group_id then ()
+      else
+        for mseq = from_mseq to to_mseq do
+          match Hashtbl.find_opt e.history mseq with
+          | None -> ()
+          | Some original ->
+              e.retransmissions <- e.retransmissions + 1;
+              let pkt' =
+                Packet.make ~src:e.self ~dst:pkt.src ~size:original.Packet.size
+                  ~seq:(Network.fresh_seq e.g.network) original.Packet.payload
+              in
+              e.transmit pkt'
+        done
+  | Mcast_heartbeat { group; last_mseq } ->
+      if group <> e.g.group_id then ()
+      else begin
+        let rx = rx_state e pkt.src in
+        if last_mseq >= rx.next_expected then
+          request_missing e pkt.src rx ~through:last_mseq
+      end
+  | _ -> invalid_arg "Multicast.handle: not a multicast packet"
+
+let retransmissions e = e.retransmissions
+let naks_sent e = e.naks_sent

@@ -1,0 +1,172 @@
+module Time = Sw_sim.Time
+module Engine = Sw_sim.Engine
+
+type link_params = {
+  latency : Time.t;
+  jitter : Time.t;
+  bandwidth_bps : int;
+  loss : float;
+}
+
+let lan =
+  { latency = Time.us 100; jitter = Time.us 20; bandwidth_bps = 1_000_000_000; loss = 0. }
+
+let wan =
+  { latency = Time.ms 2; jitter = Time.us 300; bandwidth_bps = 100_000_000; loss = 0. }
+
+type link_state = {
+  params : link_params;
+  mutable busy_until : Time.t;
+  mutable last_arrival : Time.t;
+}
+
+module Addr_pair = struct
+  type t = Address.t * Address.t
+
+  let equal (a1, b1) (a2, b2) = Address.equal a1 a2 && Address.equal b1 b2
+  let hash = Hashtbl.hash
+end
+
+module Pair_tbl = Hashtbl.Make (Addr_pair)
+
+module Addr_tbl = Hashtbl.Make (struct
+  type t = Address.t
+
+  let equal = Address.equal
+  let hash = Address.hash
+end)
+
+type t = {
+  engine : Engine.t;
+  default : link_params;
+  rng : Sw_sim.Prng.t;
+  handlers : (Packet.t -> unit) Addr_tbl.t;
+  routes : Address.t Addr_tbl.t;
+  link_overrides : link_params Pair_tbl.t;
+  node_overrides : link_params Addr_tbl.t;
+  link_states : link_state Pair_tbl.t;
+  counters : int ref Pair_tbl.t;
+  mutable seq : int;
+  mutable delivered : int;
+  mutable undeliverable : int;
+  mutable lost : int;
+}
+
+let create engine ~default =
+  {
+    engine;
+    default;
+    rng = Engine.rng engine;
+    handlers = Addr_tbl.create 64;
+    routes = Addr_tbl.create 16;
+    link_overrides = Pair_tbl.create 64;
+    node_overrides = Addr_tbl.create 16;
+    link_states = Pair_tbl.create 64;
+    counters = Pair_tbl.create 64;
+    seq = 0;
+    delivered = 0;
+    undeliverable = 0;
+    lost = 0;
+  }
+
+let engine t = t.engine
+
+let fresh_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let register t addr handler = Addr_tbl.replace t.handlers addr handler
+let registered t addr = Addr_tbl.mem t.handlers addr
+let set_route t ~dst ~via = Addr_tbl.replace t.routes dst via
+let clear_route t ~dst = Addr_tbl.remove t.routes dst
+
+let set_link t ~src ~dst params =
+  Pair_tbl.replace t.link_overrides (src, dst) params
+
+let set_node_link t addr params = Addr_tbl.replace t.node_overrides addr params
+
+let link_state t pair =
+  match Pair_tbl.find_opt t.link_states pair with
+  | Some s -> s
+  | None ->
+      let params =
+        match Pair_tbl.find_opt t.link_overrides pair with
+        | Some p -> p
+        | None -> (
+            let src, dst = pair in
+            match Addr_tbl.find_opt t.node_overrides dst with
+            | Some p -> p
+            | None -> (
+                match Addr_tbl.find_opt t.node_overrides src with
+                | Some p -> p
+                | None -> t.default))
+      in
+      let s = { params; busy_until = Time.zero; last_arrival = Time.zero } in
+      Pair_tbl.add t.link_states pair s;
+      s
+
+let bump_counter t pair =
+  match Pair_tbl.find_opt t.counters pair with
+  | Some r -> incr r
+  | None -> Pair_tbl.add t.counters pair (ref 1)
+
+let deliver_via t ~target (pkt : Packet.t) =
+  let state = link_state t (pkt.src, target) in
+  let p = state.params in
+  if p.loss > 0. && Sw_sim.Prng.float t.rng < p.loss then t.lost <- t.lost + 1
+  else begin
+    let now = Engine.now t.engine in
+    let serialisation =
+      if p.bandwidth_bps <= 0 then Time.zero
+      else
+        Time.ns
+          (int_of_float
+             (Float.round (float_of_int (pkt.size * 8) *. 1e9 /. float_of_int p.bandwidth_bps)))
+    in
+    let depart = Time.add (Time.max now state.busy_until) serialisation in
+    state.busy_until <- depart;
+    let jitter =
+      if Time.equal p.jitter Time.zero then Time.zero
+      else Time.ns (Sw_sim.Prng.int t.rng (1 + Int64.to_int p.jitter))
+    in
+    (* A link is one physical pipe: deliveries are FIFO, so jitter may delay
+       but never reorder packets within a pair. *)
+    let arrive =
+      Time.max state.last_arrival (Time.add depart (Time.add p.latency jitter))
+    in
+    state.last_arrival <- arrive;
+    match Addr_tbl.find_opt t.handlers target with
+    | None -> t.undeliverable <- t.undeliverable + 1
+    | Some handler ->
+        ignore
+          (Engine.schedule_at t.engine arrive (fun () ->
+               t.delivered <- t.delivered + 1;
+               bump_counter t (pkt.src, pkt.dst);
+               handler pkt))
+  end
+
+let send t (pkt : Packet.t) =
+  match pkt.dst with
+  | Address.Broadcast_addr ->
+      Addr_tbl.iter
+        (fun addr _ ->
+          if not (Address.equal addr pkt.src) then deliver_via t ~target:addr pkt)
+        t.handlers
+  | dst ->
+      let target =
+        match Addr_tbl.find_opt t.routes dst with Some via -> via | None -> dst
+      in
+      deliver_via t ~target pkt
+
+let count t ~src ~dst =
+  match Pair_tbl.find_opt t.counters (src, dst) with Some r -> !r | None -> 0
+
+let delivered t = t.delivered
+let undeliverable t = t.undeliverable
+let lost t = t.lost
+
+let reset_counters t =
+  Pair_tbl.reset t.counters;
+  t.delivered <- 0;
+  t.undeliverable <- 0;
+  t.lost <- 0

@@ -1,0 +1,68 @@
+(** The simulated network fabric.
+
+    Nodes register a delivery handler for their address; [send] routes a
+    packet to the handler of its (possibly rerouted) destination after a
+    per-link serialisation + propagation delay. Per-(src, dst) packet
+    counters support the packets-per-operation measurements of Fig. 6(b). *)
+
+type link_params = {
+  latency : Sw_sim.Time.t;  (** Propagation delay. *)
+  jitter : Sw_sim.Time.t;  (** Uniform extra delay in [[0, jitter]]. *)
+  bandwidth_bps : int;  (** Serialisation rate; [0] means infinite. *)
+  loss : float;  (** Per-packet drop probability in [[0, 1)]. *)
+}
+
+val lan : link_params
+(** 100 us latency, 20 us jitter, 1 Gb/s, no loss — cloud-internal default. *)
+
+val wan : link_params
+(** 2 ms latency, 300 us jitter, 100 Mb/s, no loss — client access link. *)
+
+type t
+
+val create : Sw_sim.Engine.t -> default:link_params -> t
+val engine : t -> Sw_sim.Engine.t
+
+(** Deterministic per-network sequence numbers for infrastructure senders.
+    Guests must instead number packets from their own deterministic state. *)
+val fresh_seq : t -> int
+
+(** [register t addr handler] sets the delivery handler; re-registering
+    replaces it. *)
+val register : t -> Address.t -> (Packet.t -> unit) -> unit
+
+val registered : t -> Address.t -> bool
+
+(** [set_route t ~dst ~via] delivers packets addressed to [dst] to [via]'s
+    handler instead (e.g. [Vm v] routed via [Ingress]). The packet's [dst]
+    field is left untouched. *)
+val set_route : t -> dst:Address.t -> via:Address.t -> unit
+
+val clear_route : t -> dst:Address.t -> unit
+
+(** [set_link t ~src ~dst params] overrides the parameters of the directed
+    link [src -> dst]. *)
+val set_link : t -> src:Address.t -> dst:Address.t -> link_params -> unit
+
+(** [set_node_link t addr params] sets the default for any link touching
+    [addr] (e.g. a client host's access link). Exact pair overrides from
+    {!set_link} take precedence; the delivery target's node override beats
+    the source's. *)
+val set_node_link : t -> Address.t -> link_params -> unit
+
+(** [send t pkt] delivers [pkt] (unless lost) after the link delay. Packets
+    to {!Address.Broadcast_addr} go to every registered handler except the
+    sender's. Packets whose effective destination has no handler are counted
+    as undeliverable and dropped. *)
+val send : t -> Packet.t -> unit
+
+(** Delivered-packet count for the directed pair, since the last reset.
+    Counts use the packet's original [src]/[dst] fields. *)
+val count : t -> src:Address.t -> dst:Address.t -> int
+
+(** Total delivered packets since the last reset. *)
+val delivered : t -> int
+
+val undeliverable : t -> int
+val lost : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,25 @@
+type payload = ..
+
+type t = {
+  src : Address.t;
+  dst : Address.t;
+  size : int;
+  seq : int;
+  payload : payload;
+}
+
+type payload +=
+  | Empty
+  | Guest_bound of { vm : int; ingress_seq : int; inner : t }
+  | Proposal of { vm : int; ingress_seq : int; proposer : int; virt : Sw_sim.Time.t }
+  | Egress_tunnel of { vm : int; replica : int; inner : t }
+  | Epoch_report of { vm : int; replica : int; epoch : int; d : Sw_sim.Time.t; r : Sw_sim.Time.t }
+  | Background of int
+
+let make ~src ~dst ~size ~seq payload =
+  if size <= 0 then invalid_arg "Packet.make: size must be positive";
+  { src; dst; size; seq; payload }
+
+let pp fmt t =
+  Format.fprintf fmt "%a->%a #%d (%dB)" Address.pp t.src Address.pp t.dst t.seq
+    t.size

@@ -1,0 +1,34 @@
+(** Network packets.
+
+    The payload is an extensible variant: infrastructure cases are declared
+    here, applications (HTTP, NFS, ...) add their own. Payloads must be
+    immutable values so that replicated copies stay identical. *)
+
+type payload = ..
+
+type t = {
+  src : Address.t;
+  dst : Address.t;
+  size : int;  (** Wire size in bytes, headers included. *)
+  seq : int;  (** Per-sender sequence number (see {!val-seq}). *)
+  payload : payload;
+}
+
+type payload +=
+  | Empty
+  | Guest_bound of { vm : int; ingress_seq : int; inner : t }
+      (** An inbound guest packet, replicated by the ingress to each replica's
+          VMM. [ingress_seq] identifies the packet consistently across the
+          copies so the VMMs can match proposals. *)
+  | Proposal of { vm : int; ingress_seq : int; proposer : int; virt : Sw_sim.Time.t }
+      (** A VMM's proposed virtual delivery time for an inbound packet. *)
+  | Egress_tunnel of { vm : int; replica : int; inner : t }
+      (** A guest output packet tunnelled to the egress node. *)
+  | Epoch_report of { vm : int; replica : int; epoch : int; d : Sw_sim.Time.t; r : Sw_sim.Time.t }
+      (** Per-epoch (duration, real time) report for virtual-time resync. *)
+  | Background of int  (** Subnet broadcast noise (ARP-like). *)
+
+(** [make ~src ~dst ~size ~seq payload]. [size] must be positive. *)
+val make : src:Address.t -> dst:Address.t -> size:int -> seq:int -> payload -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+let edge_count n = n * (n - 1) / 2
+
+let max_packing_size n =
+  if n < 3 then invalid_arg "Packing.max_packing_size: need n >= 3";
+  let e = edge_count n in
+  if n mod 2 = 1 then begin
+    (* Largest k with 3k <= e and e - 3k not in {1, 2}. Since leftovers
+       cycle mod 3, step k down until the leftover is acceptable. *)
+    let rec fit k =
+      if k < 0 then 0
+      else begin
+        let leftover = e - (3 * k) in
+        if leftover <> 1 && leftover <> 2 then k else fit (k - 1)
+      end
+    in
+    fit (e / 3)
+  end
+  else (e - (n / 2)) / 3
+
+let greedy n =
+  if n < 3 then invalid_arg "Packing.greedy: need n >= 3";
+  let used = Hashtbl.create (edge_count n) in
+  let free (x, y) = not (Hashtbl.mem used (x, y)) in
+  let take (x, y) = Hashtbl.add used (x, y) () in
+  let triangles = ref [] in
+  for a = 0 to n - 3 do
+    for b = a + 1 to n - 2 do
+      if free (a, b) then begin
+        (* Find the first c completing an all-free triangle on (a, b). *)
+        let rec find c =
+          if c >= n then None
+          else if free (a, c) && free (b, c) then Some c
+          else find (c + 1)
+        in
+        match find (b + 1) with
+        | None -> ()
+        | Some c ->
+            take (a, b);
+            take (a, c);
+            take (b, c);
+            triangles := Triangle.make a b c :: !triangles
+      end
+    done
+  done;
+  List.rev !triangles

@@ -1,0 +1,18 @@
+(** Edge-disjoint triangle packings of the complete graph K_n. *)
+
+(** Size of a maximum packing of K_n with pairwise edge-disjoint triangles
+    (paper Thm. 1, after Horsley):
+    - odd [n]: the largest [k] with [3k <= C(n,2)] and
+      [C(n,2) - 3k not in (1, 2)];
+    - even [n]: the largest [k] with [3k <= C(n,2) - n/2].
+    Raises [Invalid_argument] for [n < 3]. *)
+val max_packing_size : int -> int
+
+(** [greedy n] builds an edge-disjoint triangle packing of K_n by greedy
+    lexicographic scan — the simple practical algorithm a cloud scheduler
+    could run for arbitrary [n]. The result is edge-disjoint but not always
+    maximum. *)
+val greedy : int -> Triangle.t list
+
+(** Number of unordered vertex pairs, C(n, 2). *)
+val edge_count : int -> int

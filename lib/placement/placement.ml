@@ -1,0 +1,106 @@
+type plan = {
+  machines : int;
+  capacity : int;
+  placements : Triangle.t list;
+}
+
+let theorem2_bound ~n ~c =
+  match c mod 3 with
+  | 0 | 1 -> c * n / 3
+  | _ -> ((c - 1) * n / 3) + ((n - 3) / 6)
+
+let theorem2_place ~n ~c ~k =
+  if n < 9 || n mod 6 <> 3 then
+    Error (Printf.sprintf "theorem2_place: n = %d is not 3 mod 6 (>= 9)" n)
+  else if c < 1 || c > (n - 1) / 2 then
+    Error (Printf.sprintf "theorem2_place: c = %d out of [1, %d]" c ((n - 1) / 2))
+  else begin
+    let bound = theorem2_bound ~n ~c in
+    if k < 0 || k > bound then
+      Error (Printf.sprintf "theorem2_place: k = %d exceeds bound %d" k bound)
+    else begin
+      let v = (n - 3) / 6 in
+      let groups = Steiner.groups ~v in
+      let full_groups upto = List.concat_map (fun t -> groups.(t)) (List.init upto (fun i -> i + 1)) in
+      let available =
+        match c mod 3 with
+        | 0 -> full_groups (c / 3)
+        | 1 -> groups.(0) @ full_groups ((c - 1) / 3)
+        | _ -> groups.(0) @ full_groups ((c - 2) / 3) @ Steiner.partial_gv ~v
+      in
+      let placements = List.filteri (fun i _ -> i < k) available in
+      Ok { machines = n; capacity = c; placements }
+    end
+  end
+
+let greedy_place ~n ~c ~k =
+  if n < 3 then invalid_arg "Placement.greedy_place: need n >= 3";
+  if c < 1 then invalid_arg "Placement.greedy_place: need c >= 1";
+  let used = Hashtbl.create 64 in
+  let load = Array.make n 0 in
+  let free (x, y) = not (Hashtbl.mem used (x, y)) in
+  let fits t =
+    List.for_all free (Triangle.edges t)
+    && List.for_all (fun x -> load.(x) < c) (Triangle.vertices t)
+  in
+  let take t =
+    List.iter (fun e -> Hashtbl.add used e ()) (Triangle.edges t);
+    List.iter (fun x -> load.(x) <- load.(x) + 1) (Triangle.vertices t)
+  in
+  let placements = ref [] in
+  let placed = ref 0 in
+  (try
+     for a = 0 to n - 3 do
+       for b = a + 1 to n - 2 do
+         for v = b + 1 to n - 1 do
+           if !placed < k then begin
+             let t = Triangle.make a b v in
+             if fits t then begin
+               take t;
+               placements := t :: !placements;
+               incr placed
+             end
+           end
+           else raise Exit
+         done
+       done
+     done
+   with Exit -> ());
+  { machines = n; capacity = c; placements = List.rev !placements }
+
+let loads plan =
+  let load = Array.make plan.machines 0 in
+  List.iter
+    (fun t -> List.iter (fun x -> load.(x) <- load.(x) + 1) (Triangle.vertices t))
+    plan.placements;
+  load
+
+let verify plan =
+  let out_of_range =
+    List.exists
+      (fun t -> List.exists (fun x -> x < 0 || x >= plan.machines) (Triangle.vertices t))
+      plan.placements
+  in
+  if out_of_range then Error "placement references a machine out of range"
+  else if not (Triangle.edge_disjoint plan.placements) then
+    Error "placements share a machine pair (coresidency sets overlap)"
+  else begin
+    let load = loads plan in
+    let over = ref None in
+    Array.iteri
+      (fun i l -> if l > plan.capacity && !over = None then over := Some (i, l))
+      load;
+    match !over with
+    | Some (i, l) ->
+        Error
+          (Printf.sprintf "machine %d holds %d guests, capacity is %d" i l
+             plan.capacity)
+    | None -> Ok ()
+  end
+
+let utilization plan =
+  let slots = plan.machines * plan.capacity in
+  if slots = 0 then 0.
+  else float_of_int (3 * List.length plan.placements) /. float_of_int slots
+
+let isolation_bound ~n = n

@@ -1,0 +1,41 @@
+(** Replica placement under the StopWatch constraint (paper Sec. VIII).
+
+    A placement plan assigns each guest VM a triangle of machines; the plan
+    is valid when triangles are pairwise edge-disjoint (the nonoverlapping-
+    coresidency constraint) and no machine exceeds its guest capacity. *)
+
+type plan = {
+  machines : int;  (** n *)
+  capacity : int;  (** c, guest VMs a machine can run simultaneously *)
+  placements : Triangle.t list;  (** one triangle per guest VM *)
+}
+
+(** Number of guest VMs Thm. 2 guarantees for [n = 3 mod 6] and
+    [c <= (n-1)/2]: [c*n/3] when [c = 0 or 1 mod 3], else
+    [(c-1)*n/3 + (n-3)/6]. *)
+val theorem2_bound : n:int -> c:int -> int
+
+(** [theorem2_place ~n ~c ~k] runs the constructive algorithm from the
+    Thm. 2 proof. Requires [n = 3 mod 6], [n >= 9], [1 <= c <= (n-1)/2], and
+    [0 <= k <= theorem2_bound ~n ~c]; returns [Error _] otherwise. *)
+val theorem2_place : n:int -> c:int -> k:int -> (plan, string) result
+
+(** [greedy_place ~n ~c ~k] places up to [k] VMs on any [n >= 3] by greedy
+    scan under both constraints; the returned plan may hold fewer than [k]
+    placements when the greedy packing saturates. *)
+val greedy_place : n:int -> c:int -> k:int -> plan
+
+(** Full validity check: vertex range, pairwise edge-disjointness, capacity.
+    [Error] carries a human-readable reason. *)
+val verify : plan -> (unit, string) result
+
+(** Per-machine number of resident guest replicas. *)
+val loads : plan -> int array
+
+(** Fraction of total guest-slot capacity ([c * n]) in use, counting each
+    VM's three replicas. *)
+val utilization : plan -> float
+
+(** Guest VMs runnable when forgoing StopWatch and isolating each VM on its
+    own machine — the baseline the paper compares against (n). *)
+val isolation_bound : n:int -> int

@@ -1,0 +1,92 @@
+type t = {
+  machines : int;
+  capacity : int;
+  used_edges : (int * int, unit) Hashtbl.t;
+  mutable residents : Triangle.t list;
+  load : int array;
+}
+
+let create ~machines ~capacity =
+  if machines < 3 then invalid_arg "Scheduler.create: need >= 3 machines";
+  if capacity < 1 then invalid_arg "Scheduler.create: need capacity >= 1";
+  {
+    machines;
+    capacity;
+    used_edges = Hashtbl.create 64;
+    residents = [];
+    load = Array.make machines 0;
+  }
+
+let edge_free t e = not (Hashtbl.mem t.used_edges e)
+
+let feasible t tri =
+  List.for_all (edge_free t) (Triangle.edges tri)
+  && List.for_all (fun m -> t.load.(m) < t.capacity) (Triangle.vertices tri)
+
+let take t tri =
+  List.iter (fun e -> Hashtbl.add t.used_edges e ()) (Triangle.edges tri);
+  List.iter (fun m -> t.load.(m) <- t.load.(m) + 1) (Triangle.vertices tri);
+  t.residents <- tri :: t.residents
+
+let place t =
+  (* Scan machines in ascending-load order so replicas spread out; the first
+     feasible triangle wins. *)
+  let order = Array.init t.machines (fun i -> i) in
+  Array.sort (fun a b -> compare (t.load.(a), a) (t.load.(b), b)) order;
+  let n = t.machines in
+  let found = ref None in
+  (try
+     for ai = 0 to n - 3 do
+       for bi = ai + 1 to n - 2 do
+         for ci = bi + 1 to n - 1 do
+           if !found = None then begin
+             let tri = Triangle.make order.(ai) order.(bi) order.(ci) in
+             if feasible t tri then begin
+               found := Some tri;
+               raise Exit
+             end
+           end
+         done
+       done
+     done
+   with Exit -> ());
+  match !found with
+  | Some tri ->
+      take t tri;
+      Ok tri
+  | None -> Error "no feasible triangle (edges or capacity exhausted)"
+
+let remove t tri =
+  if not (List.exists (Triangle.equal tri) t.residents) then
+    invalid_arg "Scheduler.remove: triangle not placed";
+  t.residents <-
+    (let removed = ref false in
+     List.filter
+       (fun r ->
+         if (not !removed) && Triangle.equal r tri then begin
+           removed := true;
+           false
+         end
+         else true)
+       t.residents);
+  List.iter (fun e -> Hashtbl.remove t.used_edges e) (Triangle.edges tri);
+  List.iter (fun m -> t.load.(m) <- t.load.(m) - 1) (Triangle.vertices tri)
+
+let placed t = List.length t.residents
+let load t = Array.copy t.load
+let residents t = t.residents
+
+let check t =
+  if not (Triangle.edge_disjoint t.residents) then
+    Error "residents share a machine pair"
+  else begin
+    let recount = Array.make t.machines 0 in
+    List.iter
+      (fun tri ->
+        List.iter (fun m -> recount.(m) <- recount.(m) + 1) (Triangle.vertices tri))
+      t.residents;
+    if recount <> t.load then Error "load accounting out of sync"
+    else if Array.exists (fun l -> l > t.capacity) recount then
+      Error "capacity exceeded"
+    else Ok ()
+  end

@@ -1,0 +1,34 @@
+(** Online replica placement — the operational counterpart of Sec. VIII's
+    offline constructions: guest VMs arrive and depart over time, and each
+    arrival must be assigned a machine triangle that is edge-disjoint from
+    every currently running VM's triangle and respects machine capacities.
+
+    The scheduler is greedy and load-balancing: it considers machines in
+    ascending load order and takes the first feasible triangle. Departures
+    return their edges and slots, so a long-running cloud converges to a
+    maintainable packing rather than fragmenting monotonically. *)
+
+type t
+
+val create : machines:int -> capacity:int -> t
+
+(** [place t] assigns a triangle to the next arriving VM, or [Error] when no
+    feasible triangle exists under the current residents. *)
+val place : t -> (Triangle.t, string) result
+
+(** [remove t tri] releases a previously placed triangle. Raises
+    [Invalid_argument] if [tri] is not currently placed. *)
+val remove : t -> Triangle.t -> unit
+
+(** Currently running VMs. *)
+val placed : t -> int
+
+(** Per-machine resident replica counts. *)
+val load : t -> int array
+
+(** All currently placed triangles. *)
+val residents : t -> Triangle.t list
+
+(** Internal-consistency check (edge-disjointness + capacity); [Error]
+    indicates a scheduler bug. *)
+val check : t -> (unit, string) result

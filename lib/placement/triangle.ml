@@ -1,0 +1,36 @@
+type t = { a : int; b : int; c : int }
+
+let make x y z =
+  if x = y || y = z || x = z then
+    invalid_arg "Triangle.make: vertices must be distinct";
+  let a = Stdlib.min x (Stdlib.min y z) in
+  let c = Stdlib.max x (Stdlib.max y z) in
+  let b = x + y + z - a - c in
+  { a; b; c }
+
+let vertices t = [ t.a; t.b; t.c ]
+let edges t = [ (t.a, t.b); (t.a, t.c); (t.b, t.c) ]
+let mem v t = v = t.a || v = t.b || v = t.c
+let equal t1 t2 = t1.a = t2.a && t1.b = t2.b && t1.c = t2.c
+let compare = Stdlib.compare
+
+let edge_disjoint ts =
+  let seen = Hashtbl.create 64 in
+  let rec check = function
+    | [] -> true
+    | t :: rest ->
+        let fresh =
+          List.for_all
+            (fun e ->
+              if Hashtbl.mem seen e then false
+              else begin
+                Hashtbl.add seen e ();
+                true
+              end)
+            (edges t)
+        in
+        fresh && check rest
+  in
+  check ts
+
+let pp fmt t = Format.fprintf fmt "{%d,%d,%d}" t.a t.b t.c

@@ -1,0 +1,82 @@
+type event = { fn : unit -> unit; mutable cancelled : bool }
+
+type event_id = event
+
+type t = {
+  mutable now : Time.t;
+  heap : event Heap.t;
+  mutable seq : int;
+  mutable live : int;
+  mutable fired : int;
+  root_rng : Prng.t;
+}
+
+let create ?(seed = 0x5397_BA1DL) () =
+  {
+    now = Time.zero;
+    heap = Heap.create ();
+    seq = 0;
+    live = 0;
+    fired = 0;
+    root_rng = Prng.create seed;
+  }
+
+let now t = t.now
+let rng t = Prng.split t.root_rng
+
+let schedule_at t at fn =
+  if Time.(at < t.now) then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at
+         Time.pp t.now);
+  let ev = { fn; cancelled = false } in
+  Heap.push t.heap ~key:at ~seq:t.seq ev;
+  t.seq <- t.seq + 1;
+  t.live <- t.live + 1;
+  ev
+
+let schedule_after t delay fn =
+  if Time.is_negative delay then
+    invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (Time.add t.now delay) fn
+
+let cancel t ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let rec step t =
+  match Heap.pop_min t.heap with
+  | None -> false
+  | Some (at, _, ev) ->
+      if ev.cancelled then step t
+      else begin
+        t.now <- at;
+        t.live <- t.live - 1;
+        t.fired <- t.fired + 1;
+        ev.fn ();
+        true
+      end
+
+let rec run ?until t =
+  match Heap.peek_min t.heap with
+  | None ->
+      (* The queue drained early; simulated time still passes. *)
+      (match until with
+      | Some limit when Time.(limit > t.now) -> t.now <- limit
+      | _ -> ())
+  | Some (at, _, ev) -> (
+      if ev.cancelled then begin
+        ignore (Heap.pop_min t.heap);
+        run ?until t
+      end
+      else
+        match until with
+        | Some limit when Time.(at > limit) -> t.now <- limit
+        | _ ->
+            ignore (step t);
+            run ?until t)
+
+let pending t = t.live
+let fired t = t.fired

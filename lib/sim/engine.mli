@@ -1,0 +1,46 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the simulated clock and a priority queue of pending
+    events. Events scheduled for the same instant fire in the order they were
+    scheduled, so runs are deterministic. *)
+
+type t
+
+type event_id
+
+(** [create ~seed ()] makes an engine whose clock starts at {!Time.zero} and
+    whose root PRNG is seeded with [seed]. *)
+val create : ?seed:int64 -> unit -> t
+
+(** Current simulated time. *)
+val now : t -> Time.t
+
+(** [rng t] derives a fresh generator from the engine's root PRNG. Call once
+    per stochastic component at setup so later scheduling changes cannot
+    perturb the stream assignment. *)
+val rng : t -> Prng.t
+
+(** [schedule_at t at f] runs [f] when the clock reaches [at]. Raises
+    [Invalid_argument] when [at] is in the past. *)
+val schedule_at : t -> Time.t -> (unit -> unit) -> event_id
+
+(** [schedule_after t delay f] runs [f] after [delay] (an instant of
+    [now + delay]). Raises [Invalid_argument] for negative delays. *)
+val schedule_after : t -> Time.t -> (unit -> unit) -> event_id
+
+(** [cancel t id] prevents the event from firing; cancelling an already-fired
+    or already-cancelled event is a no-op. *)
+val cancel : t -> event_id -> unit
+
+(** [step t] fires the next event; [false] when no events remain. *)
+val step : t -> bool
+
+(** [run ?until t] fires events until the queue drains or the clock would
+    pass [until] (events at exactly [until] do fire). *)
+val run : ?until:Time.t -> t -> unit
+
+(** Number of pending (uncancelled) events. *)
+val pending : t -> int
+
+(** Total events fired since creation. *)
+val fired : t -> int

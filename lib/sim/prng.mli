@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every stochastic component of a simulation draws from its own generator
+    obtained via {!split}, so simulations are reproducible bit-for-bit from a
+    single seed regardless of event interleaving. *)
+
+type t
+
+val create : int64 -> t
+
+(** [split t] derives an independent generator, advancing [t]. *)
+val split : t -> t
+
+(** [copy t] duplicates the generator's current state. *)
+val copy : t -> t
+
+val next_int64 : t -> int64
+
+(** [float t] draws uniformly from [[0, 1)]. *)
+val float : t -> float
+
+(** [int t n] draws uniformly from [[0, n)]. Raises [Invalid_argument] when
+    [n <= 0]. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** [uniform t ~lo ~hi] draws uniformly from [[lo, hi)]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** [exponential t ~rate] draws from Exp(rate) (mean [1/rate]). *)
+val exponential : t -> rate:float -> float
+
+(** [normal t ~mean ~stddev] draws from a Gaussian (Box–Muller). *)
+val normal : t -> mean:float -> stddev:float -> float
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t l] picks a uniformly random element. Raises [Invalid_argument]
+    on the empty list. *)
+val choose : t -> 'a list -> 'a

@@ -1,0 +1,29 @@
+(** A growable collection of float observations with order-statistics
+    queries. Used to build empirical distributions of observed timings. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+
+(** [percentile t p] with [p] in [[0, 1]]; linear interpolation between order
+    statistics. Raises [Invalid_argument] when empty or [p] out of range. *)
+val percentile : t -> float -> float
+
+val median : t -> float
+
+(** Sorted copy of all observations. *)
+val sorted : t -> float array
+
+(** Raw copy in insertion order. *)
+val to_array : t -> float array
+
+(** [histogram t ~bins ~lo ~hi] counts observations per equal-width bin over
+    [[lo, hi]]; values outside are clamped into the end bins. *)
+val histogram : t -> bins:int -> lo:float -> hi:float -> int array
+
+(** [ecdf t x] is the fraction of observations [<= x]. *)
+val ecdf : t -> float -> float

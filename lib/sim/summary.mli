@@ -1,0 +1,24 @@
+(** Online summary statistics (Welford's algorithm). *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+(** Sample variance (unbiased, n-1 denominator); [0.] for fewer than two
+    observations. *)
+val variance : t -> float
+
+val stddev : t -> float
+
+(** Raises [Invalid_argument] when empty. *)
+val min : t -> float
+
+(** Raises [Invalid_argument] when empty. *)
+val max : t -> float
+
+val total : t -> float
+val merge : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+type t = int64
+
+let zero = 0L
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let s n = Int64.mul (Int64.of_int n) 1_000_000_000L
+let of_float_s x = Int64.of_float (Float.round (x *. 1e9))
+let of_float_ms x = Int64.of_float (Float.round (x *. 1e6))
+let to_float_s t = Int64.to_float t /. 1e9
+let to_float_ms t = Int64.to_float t /. 1e6
+let to_float_us t = Int64.to_float t /. 1e3
+let add = Int64.add
+let sub = Int64.sub
+let mul_int t n = Int64.mul t (Int64.of_int n)
+let div_int t n = Int64.div t (Int64.of_int n)
+let scale t x = Int64.of_float (Float.round (Int64.to_float t *. x))
+let compare = Int64.compare
+let equal = Int64.equal
+let min a b = if Int64.compare a b <= 0 then a else b
+let max a b = if Int64.compare a b >= 0 then a else b
+let is_negative t = Int64.compare t 0L < 0
+let ( + ) = add
+let ( - ) = sub
+let ( < ) a b = Int64.compare a b < 0
+let ( <= ) a b = Int64.compare a b <= 0
+let ( > ) a b = Int64.compare a b > 0
+let ( >= ) a b = Int64.compare a b >= 0
+
+let pp fmt t =
+  let f = Int64.to_float t in
+  let af = Float.abs f in
+  if Stdlib.( < ) af 1e3 then Format.fprintf fmt "%Ldns" t
+  else if Stdlib.( < ) af 1e6 then Format.fprintf fmt "%.3fus" (f /. 1e3)
+  else if Stdlib.( < ) af 1e9 then Format.fprintf fmt "%.3fms" (f /. 1e6)
+  else Format.fprintf fmt "%.3fs" (f /. 1e9)
+
+let to_string t = Format.asprintf "%a" pp t

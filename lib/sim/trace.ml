@@ -1,0 +1,45 @@
+type entry = { at : Time.t; label : string; message : string }
+
+type t = {
+  capacity : int;
+  buffer : entry option array;
+  mutable next : int;
+  mutable count : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; next = 0; count = 0; enabled = false }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let emit t ~at ~label message =
+  if t.enabled then begin
+    t.buffer.(t.next) <- Some { at; label; message };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+  end
+
+let entries t =
+  let start = if t.count < t.capacity then 0 else t.next in
+  let rec collect i acc =
+    if i >= t.count then List.rev acc
+    else
+      match t.buffer.((start + i) mod t.capacity) with
+      | None -> collect (i + 1) acc
+      | Some e -> collect (i + 1) (e :: acc)
+  in
+  collect 0 []
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let length t = t.count
+
+let pp_entry fmt e =
+  Format.fprintf fmt "[%a] %-18s %s" Time.pp e.at e.label e.message

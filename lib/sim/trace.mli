@@ -1,0 +1,28 @@
+(** Lightweight event tracing.
+
+    A trace is a bounded log of timestamped, labelled messages. Components
+    emit into it when tracing is enabled; experiments and tests read it back
+    to check protocol behaviour (e.g. the Fig. 2 packet-delivery trace). *)
+
+type t
+
+type entry = { at : Time.t; label : string; message : string }
+
+(** [create ~capacity ()] keeps at most [capacity] most-recent entries
+    (default 65536). *)
+val create : ?capacity:int -> unit -> t
+
+(** Tracing is disabled by default; emitting to a disabled trace is a cheap
+    no-op. *)
+val enable : t -> unit
+
+val disable : t -> unit
+val enabled : t -> bool
+val emit : t -> at:Time.t -> label:string -> string -> unit
+
+(** Entries in emission order (oldest first). *)
+val entries : t -> entry list
+
+val clear : t -> unit
+val length : t -> int
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,35 @@
+(** Probability distributions as first-class values.
+
+    A distribution packages a CDF together with a sampler; analytic
+    experiments (Fig. 1, Fig. 8) use the CDFs, simulations use the
+    samplers. *)
+
+type t = {
+  cdf : float -> float;
+  sample : Sw_sim.Prng.t -> float;
+  lo : float;  (** Lower end of (effective) support, for integration. *)
+  hi : float;  (** Upper end of (effective) support, for integration. *)
+}
+
+(** Exponential with rate [lambda] (mean [1/lambda]); [hi] is set at the
+    99.9999th percentile. *)
+val exponential : rate:float -> t
+
+val uniform : lo:float -> hi:float -> t
+
+(** Point mass at [x]. *)
+val constant : float -> t
+
+(** [shift d c] is the distribution of [X + c] for [X ~ d]. *)
+val shift : t -> float -> t
+
+(** [add d1 d2] is the distribution of [X1 + X2] for independent Xi; the CDF
+    is computed by numeric convolution on a grid of [steps] points
+    (default 512). *)
+val add : ?steps:int -> t -> t -> t
+
+(** Empirical distribution of a sample (step CDF, resampling sampler). *)
+val of_samples : float array -> t
+
+val mean : ?steps:int -> t -> float
+val quantile : t -> float -> float

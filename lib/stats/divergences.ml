@@ -1,0 +1,36 @@
+let check_lengths p q name =
+  if Array.length p <> Array.length q then invalid_arg (name ^ ": length mismatch")
+
+let total_variation p q =
+  check_lengths p q "Divergences.total_variation";
+  let acc = ref 0. in
+  Array.iteri (fun i pi -> acc := !acc +. Float.abs (pi -. q.(i))) p;
+  !acc /. 2.
+
+let kl p q =
+  check_lengths p q "Divergences.kl";
+  let acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i pi ->
+         if pi > 0. then
+           if q.(i) <= 0. then begin
+             acc := infinity;
+             raise Exit
+           end
+           else acc := !acc +. (pi *. Float.log (pi /. q.(i))))
+       p
+   with Exit -> ());
+  !acc
+
+let binned ?(bins = 10) ~null ~alt () =
+  let edges = Chi_square.equiprobable_edges null ~bins in
+  ( Chi_square.bin_probs ~edges null.Dist.cdf,
+    Chi_square.bin_probs ~edges alt.Dist.cdf )
+
+let kl_observations_needed ~null ~alt ?bins ~confidence () =
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Divergences.kl_observations_needed: confidence must be in (0, 1)";
+  let p_null, p_alt = binned ?bins ~null ~alt () in
+  let d = kl p_alt p_null in
+  if d <= 0. then infinity else Float.max 1. (-.Float.log (1. -. confidence) /. d)

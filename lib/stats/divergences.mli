@@ -1,0 +1,24 @@
+(** Additional distribution-distance measures, complementing
+    {!Ks}: total variation and Kullback–Leibler divergence over binned
+    distributions. Used to cross-check the chi-square distinguisher — a
+    defence that only fooled one statistic would be weak. *)
+
+(** [total_variation p q] = (1/2) sum |p_i - q_i| over probability vectors of
+    equal length. *)
+val total_variation : float array -> float array -> float
+
+(** [kl p q] = sum p_i log (p_i / q_i); bins where [p_i = 0] contribute 0;
+    [infinity] when some [p_i > 0] has [q_i = 0]. *)
+val kl : float array -> float array -> float
+
+(** [binned ?bins ~null ~alt ()] bins both distributions on [null]'s
+    equiprobable quantiles and returns the probability vectors. *)
+val binned :
+  ?bins:int -> null:Dist.t -> alt:Dist.t -> unit -> float array * float array
+
+(** Chernoff-Stein-style sample-complexity proxy: observations for a
+    likelihood-ratio attacker to reach [confidence] is about
+    [-ln(1 - confidence) / KL(alt || null)]; [infinity] when the divergence
+    vanishes. *)
+val kl_observations_needed :
+  null:Dist.t -> alt:Dist.t -> ?bins:int -> confidence:float -> unit -> float

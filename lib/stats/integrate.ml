@@ -1,0 +1,19 @@
+let simpson ?(n = 2048) f ~a ~b =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "Integrate.simpson: n must be even >= 2";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let x = a +. (float_of_int i *. h) in
+    let w = if i mod 2 = 1 then 4. else 2. in
+    acc := !acc +. (w *. f x)
+  done;
+  !acc *. h /. 3.
+
+let trapezoid ?(n = 2048) f ~a ~b =
+  if n < 1 then invalid_arg "Integrate.trapezoid: n must be >= 1";
+  let h = (b -. a) /. float_of_int n in
+  let acc = ref ((f a +. f b) /. 2.) in
+  for i = 1 to n - 1 do
+    acc := !acc +. f (a +. (float_of_int i *. h))
+  done;
+  !acc *. h

@@ -1,0 +1,7 @@
+(** Numeric integration helpers. *)
+
+(** Composite Simpson's rule on [[a, b]] with [n] (even, >= 2) panels. *)
+val simpson : ?n:int -> (float -> float) -> a:float -> b:float -> float
+
+(** Trapezoidal rule. *)
+val trapezoid : ?n:int -> (float -> float) -> a:float -> b:float -> float

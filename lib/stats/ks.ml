@@ -1,0 +1,38 @@
+let distance ?(grid = 4096) ~lo ~hi f g =
+  if hi <= lo then invalid_arg "Ks.distance: empty range";
+  let width = (hi -. lo) /. float_of_int grid in
+  let best = ref 0. in
+  for i = 0 to grid do
+    let x = lo +. (float_of_int i *. width) in
+    let d = Float.abs (f x -. g x) in
+    if d > !best then best := d
+  done;
+  !best
+
+let two_sample a b =
+  if Array.length a = 0 || Array.length b = 0 then
+    invalid_arg "Ks.two_sample: empty sample";
+  let sa = Array.copy a and sb = Array.copy b in
+  Array.sort Float.compare sa;
+  Array.sort Float.compare sb;
+  let na = Array.length sa and nb = Array.length sb in
+  let fa = float_of_int na and fb = float_of_int nb in
+  let rec walk i j best =
+    if i >= na || j >= nb then begin
+      let final =
+        Float.abs ((float_of_int i /. fa) -. (float_of_int j /. fb))
+      in
+      Float.max best final
+    end
+    else begin
+      (* Advance past ties on both sides so equal observations cancel. *)
+      let i, j =
+        if sa.(i) < sb.(j) then (i + 1, j)
+        else if sa.(i) > sb.(j) then (i, j + 1)
+        else (i + 1, j + 1)
+      in
+      let d = Float.abs ((float_of_int i /. fa) -. (float_of_int j /. fb)) in
+      walk i j (Float.max best d)
+    end
+  in
+  walk 0 0 0.

@@ -1,0 +1,16 @@
+(** Special functions needed by the statistical machinery. *)
+
+(** Natural log of the gamma function (Lanczos approximation), for [x > 0]. *)
+val log_gamma : float -> float
+
+(** Regularised lower incomplete gamma [P(a, x)], for [a > 0], [x >= 0]. *)
+val gamma_p : float -> float -> float
+
+(** Regularised upper incomplete gamma [Q(a, x) = 1 - P(a, x)]. *)
+val gamma_q : float -> float -> float
+
+(** Error function. *)
+val erf : float -> float
+
+(** Binomial coefficient as a float (exact for small arguments). *)
+val choose : int -> int -> float

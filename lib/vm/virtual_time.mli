@@ -1,0 +1,36 @@
+(** The guest's virtual clock (paper Sec. IV, Eqn. 1):
+
+    virt(instr) = slope * instr + start
+
+    computed in fixed point (nanoseconds scaled by 2^20 per branch) so that
+    all replicas derive bit-identical virtual times from the same branch
+    count. Epoch resynchronisation replaces the parameters at an exact
+    branch-count boundary: the new [start] is the old clock's value there, so
+    the clock stays continuous and monotone while [slope] is clamped to the
+    configured [[l, u]] range. *)
+
+type t
+
+(** [create ~start ~slope_ns_per_branch ()] begins the clock at virtual time
+    [start] for branch count 0. *)
+val create : start:Sw_sim.Time.t -> slope_ns_per_branch:float -> unit -> t
+
+(** Virtual time after retiring [instr] branches (monotone in [instr]).
+    Raises [Invalid_argument] when [instr] precedes the instant of the last
+    parameter change. *)
+val virt_at : t -> int64 -> Sw_sim.Time.t
+
+(** Current slope in ns/branch (after fixed-point rounding). *)
+val slope_ns_per_branch : t -> float
+
+(** [set_slope t ~at_instr ~slope_ns_per_branch] re-parameterises: the new
+    segment starts at [at_instr] with [start = virt_at t at_instr]. Raises
+    [Invalid_argument] when [at_instr] precedes the previous change. *)
+val set_slope : t -> at_instr:int64 -> slope_ns_per_branch:float -> unit
+
+(** [instr_for_virt t v] is the smallest branch count whose virtual time is
+    [>= v], relative to the current parameter segment (used to plan wakeups). *)
+val instr_for_virt : t -> Sw_sim.Time.t -> int64
+
+(** [clamped_slope ~l ~u x] applies the paper's [[l, u]] clamp. *)
+val clamped_slope : l:float -> u:float -> float -> float

@@ -1,0 +1,74 @@
+module Time = Sw_sim.Time
+
+type epoch = {
+  interval_branches : int64;
+  slope_l : float;
+  slope_u : float;
+}
+
+type t = {
+  quantum : Time.t;
+  branches_per_ns : float;
+  slope_ns_per_branch : float;
+  delta_n : Time.t;
+  delta_d : Time.t;
+  skew_bound : Time.t;
+  pit_period : Time.t option;
+  epoch : epoch option;
+  replicas : int;
+  dom0_per_packet : Time.t;
+  baseline_inject_delay : Time.t;
+  proposal_size : int;
+  mcast_nak_delay : Time.t;
+  mcast_heartbeat : Time.t option;
+  nic_bps : int;
+  dma_bps : int;
+  replay_log : bool;
+  disk : Sw_disk.Disk.params;
+}
+
+let slice_branches t =
+  Int64.of_float (Float.round (Int64.to_float t.quantum *. t.branches_per_ns))
+
+let default =
+  {
+    quantum = Time.us 200;
+    branches_per_ns = 1.0;
+    slope_ns_per_branch = 1.0;
+    delta_n = Time.ms 10;
+    delta_d = Time.ms 12;
+    skew_bound = Time.ms 2;
+    pit_period = Some (Time.ms 4);
+    epoch = None;
+    replicas = 3;
+    dom0_per_packet = Time.us 50;
+    baseline_inject_delay = Time.us 150;
+    proposal_size = 80;
+    mcast_nak_delay = Time.us 300;
+    mcast_heartbeat = None;
+    nic_bps = 1_000_000_000;
+    dma_bps = 8_000_000_000;
+    replay_log = false;
+    disk = Sw_disk.Disk.default_params;
+  }
+
+let validate t =
+  if Time.(t.quantum <= Time.zero) then invalid_arg "Config: quantum must be positive";
+  if t.branches_per_ns <= 0. then invalid_arg "Config: branches_per_ns must be positive";
+  if t.slope_ns_per_branch <= 0. then
+    invalid_arg "Config: slope_ns_per_branch must be positive";
+  if t.replicas < 1 || t.replicas mod 2 = 0 then
+    invalid_arg "Config: replicas must be odd and positive";
+  if Time.(t.delta_n <= Time.zero) then invalid_arg "Config: delta_n must be positive";
+  if Time.(t.delta_d <= Time.zero) then invalid_arg "Config: delta_d must be positive";
+  if Time.(t.skew_bound <= Time.zero) then
+    invalid_arg "Config: skew_bound must be positive";
+  if t.proposal_size <= 0 then invalid_arg "Config: proposal_size must be positive";
+  (match t.epoch with
+  | Some e ->
+      if Int64.compare e.interval_branches 1L < 0 then
+        invalid_arg "Config: epoch interval must be positive";
+      if e.slope_l <= 0. || e.slope_u < e.slope_l then
+        invalid_arg "Config: epoch slope bounds must satisfy 0 < l <= u"
+  | None -> ());
+  if slice_branches t < 1L then invalid_arg "Config: slice shorter than one branch"

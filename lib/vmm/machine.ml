@@ -1,0 +1,127 @@
+module Time = Sw_sim.Time
+module Engine = Sw_sim.Engine
+
+type resident = {
+  name : string;
+  runnable : unit -> bool;
+  on_slice_end : slice_start:Sw_sim.Time.t -> unit;
+}
+
+type resident_state = { r : resident; mutable running : bool }
+
+type t = {
+  engine : Engine.t;
+  network : Sw_net.Network.t;
+  id : int;
+  config : Config.t;
+  slice_wall : Time.t;  (** Wall-clock duration of one guest slice. *)
+  clock_offset : Time.t;
+  disk : Sw_disk.Disk.t;
+  mutable residents : resident_state array;
+  mutable dom0_busy_until : Time.t;
+  mutable dom0_total : Time.t;
+  mutable nic_busy_until : Time.t;
+  mutable dma_busy_until : Time.t;
+  mutable slices : int;
+}
+
+let create engine network ~id ~config ?(rate_multiplier = 1.0)
+    ?(clock_offset = Time.zero) () =
+  Config.validate config;
+  if rate_multiplier <= 0. then
+    invalid_arg "Machine.create: rate_multiplier must be positive";
+  {
+    engine;
+    network;
+    id;
+    config;
+    slice_wall = Time.scale config.Config.quantum (1. /. rate_multiplier);
+    clock_offset;
+    disk = Sw_disk.Disk.create engine ~params:config.Config.disk ();
+    residents = [||];
+    dom0_busy_until = Time.zero;
+    dom0_total = Time.zero;
+    nic_busy_until = Time.zero;
+    dma_busy_until = Time.zero;
+    slices = 0;
+  }
+
+let id t = t.id
+let config t = t.config
+let local_time t = Time.add (Engine.now t.engine) t.clock_offset
+let address t = Sw_net.Address.Vmm t.id
+let engine t = t.engine
+let network t = t.network
+let disk t = t.disk
+let slices t = t.slices
+let dom0_time t = t.dom0_total
+
+(* Each guest has its own core (the paper's machines have 16 cores for at
+   most (n-1)/2 guests), so resident slice loops run independently; a
+   resident's loop parks itself when the replica group blocks it and is
+   restarted by [wake]. *)
+let rec slice_loop t rs =
+  if rs.r.runnable () then begin
+    rs.running <- true;
+    let slice_start = Engine.now t.engine in
+    t.slices <- t.slices + 1;
+    ignore
+      (Engine.schedule_after t.engine t.slice_wall (fun () ->
+           rs.r.on_slice_end ~slice_start;
+           slice_loop t rs))
+  end
+  else rs.running <- false
+
+let attach t r =
+  let rs = { r; running = false } in
+  t.residents <- Array.append t.residents [| rs |];
+  slice_loop t rs
+
+let wake t =
+  Array.iter (fun rs -> if not rs.running then slice_loop t rs) t.residents
+
+(* Dom0 runs the device models for every resident on one shared thread; work
+   is served FIFO — the queueing delay coresident VMs impose on each other
+   here is a key source of the access-driven timing channel. *)
+let dom0_execute t ~cost k =
+  let now = Engine.now t.engine in
+  let start = Time.max now t.dom0_busy_until in
+  let finish = Time.add start cost in
+  t.dom0_busy_until <- finish;
+  t.dom0_total <- Time.add t.dom0_total cost;
+  ignore (Engine.schedule_at t.engine finish k)
+
+let dom0_work t span = dom0_execute t ~cost:span (fun () -> ())
+
+let transmit t pkt =
+  dom0_execute t ~cost:t.config.Config.dom0_per_packet (fun () ->
+      let now = Engine.now t.engine in
+      let serialisation =
+        let bps = t.config.Config.nic_bps in
+        if bps <= 0 then Time.zero
+        else
+          Time.ns
+            (int_of_float
+               (Float.round
+                  (float_of_int (pkt.Sw_net.Packet.size * 8) *. 1e9 /. float_of_int bps)))
+      in
+      let depart = Time.add (Time.max now t.nic_busy_until) serialisation in
+      t.nic_busy_until <- depart;
+      ignore
+        (Engine.schedule_at t.engine depart (fun () ->
+             Sw_net.Network.send t.network pkt)))
+
+let account_inbound t = dom0_work t t.config.Config.dom0_per_packet
+
+let dma_execute t ~bytes k =
+  if bytes <= 0 then invalid_arg "Machine.dma_execute: bytes must be positive";
+  let now = Engine.now t.engine in
+  let transfer =
+    Time.ns
+      (int_of_float
+         (Float.round
+            (float_of_int (bytes * 8) *. 1e9 /. float_of_int t.config.Config.dma_bps)))
+  in
+  let finish = Time.add (Time.max now t.dma_busy_until) transfer in
+  t.dma_busy_until <- finish;
+  ignore (Engine.schedule_at t.engine finish k)

@@ -1,0 +1,195 @@
+module Time = Sw_sim.Time
+
+type mode = Stopwatch | Baseline
+
+type report = { d : Time.t; r : Time.t }
+
+type member = {
+  replica_id : int;
+  machine : int;
+  wake : unit -> unit;
+  apply_slope : at_instr:int64 -> slope_ns_per_branch:float -> unit;
+  send_report : epoch:int -> d:Time.t -> r:Time.t -> unit;
+  mutable virt : Time.t;
+  mutable blocked_skew : bool;
+  (* Epoch state *)
+  mutable epoch_index : int;  (** Next epoch boundary to cross. *)
+  mutable epoch_start_real : Time.t;
+  mutable blocked_epoch : bool;
+  mutable pending_boundary : (int64 * Time.t) option;
+      (** (exit instr, virt) at the boundary crossing awaiting resolution. *)
+  reports : (int * int, report) Hashtbl.t;
+      (** Reports received at this member, keyed by (epoch, replica). *)
+}
+
+type t = {
+  vm : int;
+  config : Config.t;
+  mode : mode;
+  mutable members : member array;
+  mutable divergences : int;
+  mutable skew_blocks : int;
+}
+
+let create ~vm ~config ~mode =
+  Config.validate config;
+  {
+    vm;
+    config;
+    mode;
+    members = [||];
+    divergences = 0;
+    skew_blocks = 0;
+  }
+
+let vm t = t.vm
+let mode t = t.mode
+let config t = t.config
+let replica_id m = m.replica_id
+let machine_of m = m.machine
+let member_virt m = m.virt
+let complete t = Array.length t.members = t.config.Config.replicas
+
+let add_member t ~machine ~wake ~apply_slope ~send_report =
+  if complete t then invalid_arg "Replica_group.add_member: group is full";
+  let m =
+    {
+      replica_id = Array.length t.members;
+      machine;
+      wake;
+      apply_slope;
+      send_report;
+      virt = Time.zero;
+      blocked_skew = false;
+      epoch_index = 0;
+      epoch_start_real = Time.zero;
+      blocked_epoch = false;
+      pending_boundary = None;
+      reports = Hashtbl.create 8;
+    }
+  in
+  t.members <- Array.append t.members [| m |];
+  m
+
+let median_time times =
+  let n = Array.length times in
+  if n mod 2 = 0 then invalid_arg "Replica_group.median_time: even count";
+  let sorted = Array.copy times in
+  Array.sort Time.compare sorted;
+  sorted.(n / 2)
+
+let blocked _t m = m.blocked_skew || m.blocked_epoch
+
+(* Deschedule the strictly fastest member when it leads the second fastest
+   by more than the bound; everyone else runs. *)
+let update_skew t =
+  let n = Array.length t.members in
+  if n >= 2 then begin
+    let virts = Array.map (fun m -> m.virt) t.members in
+    Array.sort (fun a b -> Time.compare b a) virts;
+    let fastest = virts.(0) and second = virts.(1) in
+    let limit = t.config.Config.skew_bound in
+    Array.iter
+      (fun m ->
+        let should_block =
+          Time.equal m.virt fastest
+          && Time.(Time.sub fastest second > limit)
+        in
+        if m.blocked_skew && not should_block then begin
+          m.blocked_skew <- false;
+          m.wake ()
+        end
+        else begin
+          if should_block && not m.blocked_skew then t.skew_blocks <- t.skew_blocks + 1;
+          m.blocked_skew <- should_block
+        end)
+      t.members
+  end
+
+(* Try to resolve the epoch this member is blocked on: needs its own
+   boundary crossing recorded and all replicas' reports. *)
+let current_reports t m =
+  let n = t.config.Config.replicas in
+  let found =
+    Array.init n (fun from -> Hashtbl.find_opt m.reports (m.epoch_index, from))
+  in
+  if Array.for_all Option.is_some found then Some (Array.map Option.get found)
+  else None
+
+let try_resolve_epoch t m =
+  match (m.pending_boundary, t.config.Config.epoch, current_reports t m) with
+  | Some (boundary_instr, boundary_virt), Some e, Some reports ->
+      let r_star = median_time (Array.map (fun rep -> rep.r) reports) in
+      (* D* comes from the machine contributing the median real time; ties
+         resolve to the lowest replica id for determinism. *)
+      let d_star =
+        let rec find i =
+          if Time.equal reports.(i).r r_star then reports.(i).d else find (i + 1)
+        in
+        find 0
+      in
+      let raw_slope =
+        Time.to_float_s (Time.add (Time.sub r_star boundary_virt) d_star)
+        *. 1e9
+        /. Int64.to_float e.Config.interval_branches
+      in
+      let slope =
+        Sw_vm.Virtual_time.clamped_slope ~l:e.Config.slope_l ~u:e.Config.slope_u
+          raw_slope
+      in
+      m.apply_slope ~at_instr:boundary_instr ~slope_ns_per_branch:slope;
+      m.pending_boundary <- None;
+      for from = 0 to t.config.Config.replicas - 1 do
+        Hashtbl.remove m.reports (m.epoch_index, from)
+      done;
+      m.epoch_index <- m.epoch_index + 1;
+      m.blocked_epoch <- false;
+      m.wake ()
+  | _ -> ()
+
+let note_epoch_crossing t m ~now ~virt ~instr =
+  match t.config.Config.epoch with
+  | None -> ()
+  | Some e ->
+      let boundary =
+        Int64.mul (Int64.of_int (m.epoch_index + 1)) e.Config.interval_branches
+      in
+      if Int64.compare instr boundary >= 0 && m.pending_boundary = None then begin
+        let d = Time.sub now m.epoch_start_real in
+        m.epoch_start_real <- now;
+        m.pending_boundary <- Some (instr, virt);
+        m.blocked_epoch <- true;
+        (* Record our own report locally and multicast it to the peers. *)
+        Hashtbl.replace m.reports (m.epoch_index, m.replica_id) { d; r = now };
+        m.send_report ~epoch:m.epoch_index ~d ~r:now;
+        try_resolve_epoch t m
+      end
+
+let note_exit t m ~now ~virt ~instr =
+  m.virt <- virt;
+  match t.mode with
+  | Baseline -> ()
+  | Stopwatch ->
+      update_skew t;
+      note_epoch_crossing t m ~now ~virt ~instr
+
+let receive_report t ~at ~from_replica ~epoch ~d ~r =
+  match t.mode with
+  | Baseline -> ()
+  | Stopwatch ->
+      (* Reports for already-resolved epochs are stale duplicates; future
+         epochs (a fast peer racing ahead) are buffered until this member
+         catches up. *)
+      if epoch >= at.epoch_index then begin
+        Hashtbl.replace at.reports (epoch, from_replica) { d; r };
+        try_resolve_epoch t at
+      end
+
+let record_divergence t = t.divergences <- t.divergences + 1
+let skew_blocks t = t.skew_blocks
+let divergences t = t.divergences
+
+let epochs_resolved t =
+  if Array.length t.members = 0 then 0
+  else
+    Array.fold_left (fun acc m -> Stdlib.min acc m.epoch_index) max_int t.members

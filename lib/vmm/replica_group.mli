@@ -1,0 +1,75 @@
+(** Coordination state for the replicas of one guest VM: virtual-time skew
+    limiting ("slow the fastest replica"), epoch-based virtual-clock
+    resynchronisation, and divergence accounting.
+
+    The group object is shared by the VMMs hosting the replicas, but all
+    inter-replica information flow it models (epoch reports) still travels as
+    real network messages; the shared object only holds each member's locally
+    known state. *)
+
+type mode = Stopwatch | Baseline
+
+type t
+type member
+
+val create : vm:int -> config:Config.t -> mode:mode -> t
+val vm : t -> int
+val mode : t -> mode
+val config : t -> Config.t
+
+(** [add_member t ~machine ~wake ~apply_slope ~send_report] registers the
+    next replica (ids assigned 0, 1, ...). [wake] re-polls the hosting
+    machine's scheduler; [apply_slope] re-parameterises the local guest's
+    virtual clock; [send_report] transmits an epoch report payload to the
+    peer VMMs. Raises when the group is already full. *)
+val add_member :
+  t ->
+  machine:int ->
+  wake:(unit -> unit) ->
+  apply_slope:(at_instr:int64 -> slope_ns_per_branch:float -> unit) ->
+  send_report:(epoch:int -> d:Sw_sim.Time.t -> r:Sw_sim.Time.t -> unit) ->
+  member
+
+val replica_id : member -> int
+val machine_of : member -> int
+
+(** Latest virtual time reported by this member (its last VM exit). *)
+val member_virt : member -> Sw_sim.Time.t
+
+(** Whether the group has all [config.replicas] members. *)
+val complete : t -> bool
+
+(** [note_exit t m ~now ~virt ~instr] records a VM exit: updates skew
+    blocking across the group and, when [instr] crosses an epoch boundary,
+    emits this member's epoch report and blocks it until the epoch
+    resolves. *)
+val note_exit :
+  t -> member -> now:Sw_sim.Time.t -> virt:Sw_sim.Time.t -> instr:int64 -> unit
+
+(** True when the member must not run (skew-blocked or epoch-blocked). *)
+val blocked : t -> member -> bool
+
+(** Delivery of a peer's epoch report at this member's VMM. *)
+val receive_report :
+  t ->
+  at:member ->
+  from_replica:int ->
+  epoch:int ->
+  d:Sw_sim.Time.t ->
+  r:Sw_sim.Time.t ->
+  unit
+
+(** Records a synchrony violation (a median delivery time already passed —
+    paper footnote 4). *)
+val record_divergence : t -> unit
+
+val divergences : t -> int
+
+(** Epochs fully resolved so far (minimum over members). *)
+val epochs_resolved : t -> int
+
+(** Times the skew limiter has descheduled a (newly) fastest replica. *)
+val skew_blocks : t -> int
+
+(** Median of an odd-length array of times. *)
+val median_time : Sw_sim.Time.t array -> Sw_sim.Time.t

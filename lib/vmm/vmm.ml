@@ -1,0 +1,544 @@
+module Time = Sw_sim.Time
+module Engine = Sw_sim.Engine
+module Packet = Sw_net.Packet
+module Address = Sw_net.Address
+
+(* Interrupt classes give a fixed injection order among interrupts that
+   become deliverable at the same exit (net before disk, then key order);
+   any fixed rule works, it only has to be identical across replicas. *)
+type pending = {
+  delivery : Time.t;
+  cls : int;
+  key : int;
+  event : Sw_vm.App.event;
+}
+
+type inbound_entry = {
+  mutable packet : Packet.t option;
+  mutable proposals : (int * Time.t) list;  (** (replica_id, proposed virt) *)
+}
+
+type disk_entry = {
+  tag : int;
+  delivery_virt : Time.t;
+  mutable ready : bool;
+}
+
+(* Execution history for deterministic replay: exactly the operations the
+   VMM performed on the guest, in order. *)
+type log_entry =
+  | L_slice
+  | L_inject of Sw_vm.App.event
+  | L_timers
+  | L_slope of int64 * float
+
+type instance = {
+  vm_id : int;
+  group : Replica_group.t;
+  member : Replica_group.member;
+  mutable guest : Sw_vm.Guest.t;
+  app_factory : Sw_vm.App.factory;
+  sinks : Sw_vm.Guest.sinks;
+  vt_start : Time.t;
+  mutable log_rev : log_entry list;
+  peers : Address.t list;
+  mutable channel : Sw_net.Multicast.endpoint option;
+      (** PGM endpoint shared with the peer VMMs and the ingress. *)
+  mach : Machine.t;
+  config : Config.t;
+  inbound : (int, inbound_entry) Hashtbl.t;
+  mutable pending : pending list;  (** Sorted by (delivery, cls, key). *)
+  mutable disk_waiting : disk_entry list;
+  mutable net_deliveries : int;
+  mutable disk_interrupts : int;
+  mutable dma_interrupts : int;
+  mutable delta_d_violations : int;
+  mutable last_net_virt : Time.t option;
+  inter_delivery : Sw_sim.Samples.t;
+  mutable trace : Sw_sim.Trace.t option;
+  median_sources : float array;
+      (** Per replica id: medians credited to its proposal (ties split). *)
+}
+
+type t = {
+  mach : Machine.t;
+  instances : (int, instance) Hashtbl.t;
+  mcast_routes : (int, Sw_net.Multicast.endpoint) Hashtbl.t;
+      (** Multicast group id -> endpoint, for inbound demux. *)
+  mutable unknown : int;
+}
+
+let machine t = t.mach
+let vm i = i.vm_id
+let replica i = Replica_group.replica_id i.member
+let guest i = i.guest
+let net_deliveries i = i.net_deliveries
+let disk_interrupts i = i.disk_interrupts
+let dma_interrupts i = i.dma_interrupts
+let inter_delivery_virts_ms i = Sw_sim.Samples.to_array i.inter_delivery
+let delta_d_violations i = i.delta_d_violations
+let unknown_packets t = t.unknown
+let instance_of_vm t vm = Hashtbl.find_opt t.instances vm
+let set_trace i tr = i.trace <- Some tr
+
+let log_op i entry =
+  if i.config.Config.replay_log then i.log_rev <- entry :: i.log_rev
+let median_source_counts i = Array.copy i.median_sources
+
+let trace i fmt =
+  Format.kasprintf
+    (fun message ->
+      match i.trace with
+      | Some tr ->
+          let at = Engine.now (Machine.engine i.mach) in
+          let label =
+            Printf.sprintf "vm%d/r%d@m%d" i.vm_id
+              (Replica_group.replica_id i.member)
+              (Machine.id i.mach)
+          in
+          Sw_sim.Trace.emit tr ~at ~label message
+      | None -> ())
+    fmt
+
+let insert_pending i entry =
+  let precedes a b =
+    match Time.compare a.delivery b.delivery with
+    | 0 -> if a.cls <> b.cls then a.cls < b.cls else a.key < b.key
+    | c -> c < 0
+  in
+  let rec insert = function
+    | [] -> [ entry ]
+    | hd :: rest -> if precedes entry hd then entry :: hd :: rest else hd :: insert rest
+  in
+  i.pending <- insert i.pending
+
+let is_stopwatch i =
+  match Replica_group.mode i.group with
+  | Replica_group.Stopwatch -> true
+  | Replica_group.Baseline -> false
+
+(* --- Network device model ------------------------------------------- *)
+
+let complete_inbound i ~ingress_seq entry =
+  match entry.packet with
+  | Some inner when List.length entry.proposals = i.config.Config.replicas ->
+      Hashtbl.remove i.inbound ingress_seq;
+      let delivery =
+        Replica_group.median_time
+          (Array.of_list (List.map snd entry.proposals))
+      in
+      (* Credit the proposers whose value the median adopted, splitting ties
+         evenly — Sec. IX's marginalisation is visible here: a loaded
+         replica's (late, hence larger) proposals stop being adopted. *)
+      let winners =
+        List.filter (fun (_, v) -> Time.equal v delivery) entry.proposals
+      in
+      let credit = 1. /. float_of_int (List.length winners) in
+      List.iter
+        (fun (who, _) -> i.median_sources.(who) <- i.median_sources.(who) +. credit)
+        winners;
+      trace i "median delivery virt=%a for pkt #%d (proposals: %s)" Time.pp
+        delivery ingress_seq
+        (String.concat ", "
+           (List.map
+              (fun (r, v) -> Printf.sprintf "r%d:%s" r (Time.to_string v))
+              (List.sort Stdlib.compare entry.proposals)));
+      if Time.(delivery < Replica_group.member_virt i.member) then
+        Replica_group.record_divergence i.group;
+      insert_pending i
+        { delivery; cls = 0; key = ingress_seq; event = Sw_vm.App.Packet_in inner }
+  | _ -> ()
+
+let inbound_entry i ingress_seq =
+  match Hashtbl.find_opt i.inbound ingress_seq with
+  | Some e -> e
+  | None ->
+      let e = { packet = None; proposals = [] } in
+      Hashtbl.add i.inbound ingress_seq e;
+      e
+
+let add_proposal entry ~proposer ~virt =
+  if not (List.mem_assoc proposer entry.proposals) then
+    entry.proposals <- (proposer, virt) :: entry.proposals
+
+let on_guest_bound i ~ingress_seq ~(inner : Packet.t) =
+  if is_stopwatch i then begin
+    let entry = inbound_entry i ingress_seq in
+    entry.packet <- Some inner;
+    (* Propose: the guest's virtual time as of its last VM exit, plus
+       delta_n. The proposal is multicast to the peer VMMs. *)
+    let proposed =
+      Time.add (Replica_group.member_virt i.member) i.config.Config.delta_n
+    in
+    trace i "packet #%d arrived; buffering; proposing virt=%a" ingress_seq
+      Time.pp proposed;
+    let my_id = Replica_group.replica_id i.member in
+    add_proposal entry ~proposer:my_id ~virt:proposed;
+    let payload =
+      Packet.Proposal { vm = i.vm_id; ingress_seq; proposer = my_id; virt = proposed }
+    in
+    (match i.channel with
+    | Some ep -> Sw_net.Multicast.publish ep ~size:i.config.Config.proposal_size payload
+    | None ->
+        List.iter
+          (fun peer ->
+            let pkt =
+              Packet.make
+                ~src:(Machine.address i.mach)
+                ~dst:peer ~size:i.config.Config.proposal_size
+                ~seq:(Sw_net.Network.fresh_seq (Machine.network i.mach))
+                payload
+            in
+            Machine.transmit i.mach pkt)
+          i.peers);
+    complete_inbound i ~ingress_seq entry
+  end
+  else begin
+    (* Baseline: deliver after the emulation delay at the next exit. *)
+    let delivery =
+      Time.add
+        (Replica_group.member_virt i.member)
+        i.config.Config.baseline_inject_delay
+    in
+    insert_pending i
+      { delivery; cls = 0; key = ingress_seq; event = Sw_vm.App.Packet_in inner }
+  end
+
+let on_proposal i ~ingress_seq ~proposer ~virt =
+  trace i "proposal from r%d for pkt #%d: virt=%a" proposer ingress_seq Time.pp
+    virt;
+  let entry = inbound_entry i ingress_seq in
+  add_proposal entry ~proposer ~virt;
+  complete_inbound i ~ingress_seq entry
+
+(* --- Guest sinks ------------------------------------------------------ *)
+
+let make_sinks mach group_ref member_ref vm_id disk_cb dma_cb =
+  let send ~seq ~instr:_ ~dst ~size ~payload =
+    let inner = Packet.make ~src:(Address.Vm vm_id) ~dst ~size ~seq payload in
+    let stopwatch =
+      match Replica_group.mode !group_ref with
+      | Replica_group.Stopwatch -> true
+      | Replica_group.Baseline -> false
+    in
+    if stopwatch then begin
+      let tunnel =
+        Packet.make
+          ~src:(Machine.address mach)
+          ~dst:Address.Egress ~size:(size + 48)
+          ~seq:(Sw_net.Network.fresh_seq (Machine.network mach))
+          (Packet.Egress_tunnel
+             { vm = vm_id; replica = Replica_group.replica_id !member_ref; inner })
+      in
+      Machine.transmit mach tunnel
+    end
+    else Machine.transmit mach inner
+  in
+  let disk ~kind ~bytes ~sequential ~tag ~instr:_ = disk_cb ~kind ~bytes ~sequential ~tag in
+  let dma ~bytes ~tag ~instr:_ = dma_cb ~bytes ~tag in
+  { Sw_vm.Guest.send; disk; dma }
+
+(* --- Slice handling --------------------------------------------------- *)
+
+let deliver_due i =
+  let virt = Sw_vm.Guest.virt_now i.guest in
+  let rec loop () =
+    match i.pending with
+    | hd :: rest when Time.(hd.delivery <= virt) ->
+        i.pending <- rest;
+        log_op i (L_inject hd.event);
+        (match hd.event with
+        | Sw_vm.App.Packet_in _ ->
+            trace i "delivering pkt #%d to guest at virt=%a" hd.key Time.pp virt;
+            i.net_deliveries <- i.net_deliveries + 1;
+            (match i.last_net_virt with
+            | Some prev ->
+                Sw_sim.Samples.add i.inter_delivery
+                  (Time.to_float_ms (Time.sub virt prev))
+            | None -> ());
+            i.last_net_virt <- Some virt
+        | Sw_vm.App.Disk_done _ -> i.disk_interrupts <- i.disk_interrupts + 1
+        | Sw_vm.App.Dma_done _ -> i.dma_interrupts <- i.dma_interrupts + 1
+        | _ -> ());
+        Sw_vm.Guest.inject i.guest hd.event;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  log_op i L_timers;
+  Sw_vm.Guest.deliver_due_timers i.guest
+
+let on_slice_end t i ~slice_start:_ =
+  let branches = Config.slice_branches i.config in
+  log_op i L_slice;
+  Sw_vm.Guest.run_branches i.guest branches;
+  (* Exits report the machine's own clock reading, as the real VMM would. *)
+  let now = Machine.local_time t.mach in
+  let virt = Sw_vm.Guest.virt_now i.guest in
+  Replica_group.note_exit i.group i.member ~now ~virt ~instr:(Sw_vm.Guest.instr i.guest);
+  deliver_due i
+
+(* --- Disk device model ------------------------------------------------ *)
+
+let on_disk_request t i ~kind ~bytes ~sequential ~tag =
+  (* The disk device model's request and completion handling also run on the
+     machine's Dom0 thread. *)
+  Machine.dom0_work t.mach (Machine.config t.mach).Config.dom0_per_packet;
+  let virt_issue = Sw_vm.Guest.virt_now i.guest in
+  let offset =
+    if is_stopwatch i then i.config.Config.delta_d
+    else i.config.Config.baseline_inject_delay
+  in
+  let entry = { tag; delivery_virt = Time.add virt_issue offset; ready = false } in
+  i.disk_waiting <- i.disk_waiting @ [ entry ];
+  let disk_kind =
+    match kind with `Read -> Sw_disk.Disk.Read | `Write -> Sw_disk.Disk.Write
+  in
+  Sw_disk.Disk.submit (Machine.disk t.mach) ~vm:i.vm_id ~kind:disk_kind ~bytes
+    ~sequential (fun () ->
+      Machine.dom0_work t.mach (Machine.config t.mach).Config.dom0_per_packet;
+      entry.ready <- true;
+      (* The transfer must have completed by the virtual delivery time; if
+         the guest's clock has already passed it, that's a Δd violation. *)
+      if
+        is_stopwatch i
+        && Time.(Sw_vm.Guest.virt_now i.guest > entry.delivery_virt)
+      then begin
+        i.delta_d_violations <- i.delta_d_violations + 1;
+        Replica_group.record_divergence i.group
+      end;
+      i.disk_waiting <- List.filter (fun e -> e.tag <> entry.tag) i.disk_waiting;
+      insert_pending i
+        {
+          delivery = entry.delivery_virt;
+          cls = 1;
+          key = entry.tag;
+          event = Sw_vm.App.Disk_done { tag = entry.tag };
+        })
+
+let on_dma_request t i ~bytes ~tag =
+  Machine.dom0_work t.mach (Machine.config t.mach).Config.dom0_per_packet;
+  let virt_issue = Sw_vm.Guest.virt_now i.guest in
+  let offset =
+    if is_stopwatch i then i.config.Config.delta_d
+    else i.config.Config.baseline_inject_delay
+  in
+  let delivery_virt = Time.add virt_issue offset in
+  Machine.dma_execute t.mach ~bytes (fun () ->
+      if is_stopwatch i && Time.(Sw_vm.Guest.virt_now i.guest > delivery_virt) then begin
+        i.delta_d_violations <- i.delta_d_violations + 1;
+        Replica_group.record_divergence i.group
+      end;
+      insert_pending i
+        {
+          delivery = delivery_virt;
+          cls = 2;
+          key = tag;
+          event = Sw_vm.App.Dma_done { tag };
+        })
+
+(* --- Construction ----------------------------------------------------- *)
+
+let handle_packet t (pkt : Packet.t) =
+  match pkt.Packet.payload with
+  | _ when Sw_net.Multicast.is_mcast pkt -> (
+      match Sw_net.Multicast.group_of_packet pkt with
+      | Some gid -> (
+          match Hashtbl.find_opt t.mcast_routes gid with
+          | Some ep -> Sw_net.Multicast.handle ep pkt
+          | None -> t.unknown <- t.unknown + 1)
+      | None -> t.unknown <- t.unknown + 1)
+  | Packet.Guest_bound { vm; ingress_seq; inner } -> (
+      match Hashtbl.find_opt t.instances vm with
+      | Some i -> on_guest_bound i ~ingress_seq ~inner
+      | None -> t.unknown <- t.unknown + 1)
+  | Packet.Proposal { vm; ingress_seq; proposer; virt } -> (
+      match Hashtbl.find_opt t.instances vm with
+      | Some i -> on_proposal i ~ingress_seq ~proposer ~virt
+      | None -> t.unknown <- t.unknown + 1)
+  | Packet.Epoch_report { vm; replica; epoch; d; r } -> (
+      match Hashtbl.find_opt t.instances vm with
+      | Some i ->
+          Replica_group.receive_report i.group ~at:i.member ~from_replica:replica
+            ~epoch ~d ~r
+      | None -> t.unknown <- t.unknown + 1)
+  | _ -> (
+      (* Baseline-mode guests receive their traffic directly. *)
+      match pkt.Packet.dst with
+      | Address.Vm vm -> (
+          match Hashtbl.find_opt t.instances vm with
+          | Some i when not (is_stopwatch i) ->
+              on_guest_bound i ~ingress_seq:pkt.Packet.seq ~inner:pkt
+          | _ -> t.unknown <- t.unknown + 1)
+      | _ -> t.unknown <- t.unknown + 1)
+
+(* Rebuild the replica's guest by deterministic replay of its logged
+   history (paper footnote 4: recovering a diverged replica). The clone is
+   built muted — its sends and device requests are suppressed, since they
+   already happened — then unmuted and swapped in. *)
+let rebuild i =
+  if not i.config.Config.replay_log then
+    invalid_arg "Vmm.rebuild: enable Config.replay_log to record history";
+  let vt =
+    Sw_vm.Virtual_time.create ~start:i.vt_start
+      ~slope_ns_per_branch:i.config.Config.slope_ns_per_branch ()
+  in
+  let guest =
+    Sw_vm.Guest.create ~app:(i.app_factory ()) ~vt
+      ?pit_period:i.config.Config.pit_period ~sinks:i.sinks ()
+  in
+  Sw_vm.Guest.set_muted guest true;
+  Sw_vm.Guest.boot guest;
+  let branches = Config.slice_branches i.config in
+  List.iter
+    (fun entry ->
+      match entry with
+      | L_slice -> Sw_vm.Guest.run_branches guest branches
+      | L_inject ev -> Sw_vm.Guest.inject guest ev
+      | L_timers -> Sw_vm.Guest.deliver_due_timers guest
+      | L_slope (at_instr, slope_ns_per_branch) ->
+          Sw_vm.Virtual_time.set_slope vt ~at_instr ~slope_ns_per_branch)
+    (List.rev i.log_rev);
+  Sw_vm.Guest.set_muted guest false;
+  guest
+
+(* Swap the rebuilt clone in as the live guest. *)
+let recover i =
+  let guest = rebuild i in
+  i.guest <- guest
+
+let create mach =
+  let t =
+    { mach; instances = Hashtbl.create 8; mcast_routes = Hashtbl.create 8; unknown = 0 }
+  in
+  let per_packet = (Machine.config mach).Config.dom0_per_packet in
+  (* Every inbound packet's device-model work queues on the machine's Dom0
+     thread before the VMM acts on it — coresident VMs' traffic therefore
+     delays each other's interrupt handling, which is the contention the
+     proposal/median machinery has to mask. *)
+  Sw_net.Network.register (Machine.network mach) (Machine.address mach)
+    (fun pkt ->
+      Machine.dom0_execute mach ~cost:per_packet (fun () -> handle_packet t pkt));
+  t
+
+let host ?channel ?start t ~group ~app ~peers =
+  let config = Replica_group.config group in
+  let vm_id = Replica_group.vm group in
+  if Hashtbl.mem t.instances vm_id then
+    invalid_arg "Vmm.host: this machine already hosts a replica of that VM";
+  (* The virtual clock starts at the median of the hosting VMMs' clock
+     readings (Sec. IV-A), negotiated by the deployer; a lone replica starts
+     at its own clock. *)
+  let start = match start with Some s -> s | None -> Machine.local_time t.mach in
+  let vt =
+    Sw_vm.Virtual_time.create ~start
+      ~slope_ns_per_branch:config.Config.slope_ns_per_branch ()
+  in
+  (* The guest, member and instance reference each other; tie the knot with
+     forward references resolved after creation. *)
+  let group_ref = ref group in
+  let member_holder = ref None in
+  let instance_holder = ref None in
+  let disk_cb ~kind ~bytes ~sequential ~tag =
+    match !instance_holder with
+    | Some i -> on_disk_request t i ~kind ~bytes ~sequential ~tag
+    | None -> invalid_arg "Vmm: disk request before instance ready"
+  in
+  let dma_cb ~bytes ~tag =
+    match !instance_holder with
+    | Some i -> on_dma_request t i ~bytes ~tag
+    | None -> invalid_arg "Vmm: dma request before instance ready"
+  in
+  let member_ref =
+    ref
+      (Replica_group.add_member group ~machine:(Machine.id t.mach)
+         ~wake:(fun () -> Machine.wake t.mach)
+         ~apply_slope:(fun ~at_instr ~slope_ns_per_branch ->
+           (match !instance_holder with
+           | Some i -> log_op i (L_slope (at_instr, slope_ns_per_branch))
+           | None -> ());
+           Sw_vm.Virtual_time.set_slope vt ~at_instr ~slope_ns_per_branch)
+         ~send_report:(fun ~epoch ~d ~r ->
+           let payload =
+             Packet.Epoch_report
+               {
+                 vm = vm_id;
+                 replica =
+                   (match !member_holder with
+                   | Some m -> Replica_group.replica_id m
+                   | None -> 0);
+                 epoch;
+                 d;
+                 r;
+               }
+           in
+           match !instance_holder with
+           | Some { channel = Some ep; _ } ->
+               Sw_net.Multicast.publish ep ~size:config.Config.proposal_size payload
+           | _ ->
+               List.iter
+                 (fun peer ->
+                   let pkt =
+                     Packet.make
+                       ~src:(Machine.address t.mach)
+                       ~dst:peer ~size:config.Config.proposal_size
+                       ~seq:(Sw_net.Network.fresh_seq (Machine.network t.mach))
+                       payload
+                   in
+                   Machine.transmit t.mach pkt)
+                 peers))
+  in
+  member_holder := Some !member_ref;
+  let sinks = make_sinks t.mach group_ref member_ref vm_id disk_cb dma_cb in
+  let guest =
+    Sw_vm.Guest.create ~app:(app ()) ~vt ?pit_period:config.Config.pit_period
+      ~sinks ()
+  in
+  let i =
+    {
+      vm_id;
+      group;
+      member = !member_ref;
+      guest;
+      app_factory = app;
+      sinks;
+      vt_start = start;
+      log_rev = [];
+      peers;
+      mach = t.mach;
+      config;
+      inbound = Hashtbl.create 32;
+      pending = [];
+      disk_waiting = [];
+      net_deliveries = 0;
+      disk_interrupts = 0;
+      dma_interrupts = 0;
+      delta_d_violations = 0;
+      channel = None;
+      last_net_virt = None;
+      inter_delivery = Sw_sim.Samples.create ();
+      trace = None;
+      median_sources = Array.make config.Config.replicas 0.;
+    }
+  in
+  instance_holder := Some i;
+  (match channel with
+  | Some g ->
+      let ep =
+        Sw_net.Multicast.endpoint g ~self:(Machine.address t.mach)
+          ~transmit:(Machine.transmit t.mach)
+          ~deliver:(fun pkt -> handle_packet t pkt)
+          ()
+      in
+      i.channel <- Some ep;
+      Hashtbl.replace t.mcast_routes (Sw_net.Multicast.group_id g) ep
+  | None -> ());
+  Hashtbl.add t.instances vm_id i;
+  Sw_vm.Guest.boot guest;
+  Machine.attach t.mach
+    {
+      Machine.name = Printf.sprintf "vm%d/r%d" vm_id (Replica_group.replica_id i.member);
+      runnable = (fun () -> not (Replica_group.blocked group i.member));
+      on_slice_end = (fun ~slice_start -> on_slice_end t i ~slice_start);
+    };
+  i

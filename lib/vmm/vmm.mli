@@ -1,0 +1,88 @@
+(** The per-machine StopWatch VMM: hosts guest VM replicas, drives their
+    slices, and implements the device models.
+
+    Network device model (paper Sec. V-B): inbound guest packets (replicated
+    by the ingress) are buffered hidden from the guest; the VMM proposes
+    [last-exit virtual time + delta_n] as the delivery time, exchanges
+    proposals with the peer VMMs, adopts the median, and injects the
+    interrupt at the first guest-caused VM exit whose virtual time has
+    reached it. Disk device model: completion interrupts are injected at
+    [issue virtual time + delta_d] once the (real) transfer has finished.
+    Output packets are tunnelled to the egress node, which releases each on
+    its median-timed copy.
+
+    In [Baseline] mode (unmodified Xen), packets route directly to the
+    hosting machine and interrupts are injected at the first exit after a
+    small emulation delay; no replication machinery runs. *)
+
+type t
+
+(** One hosted guest VM replica. *)
+type instance
+
+(** [create machine] registers the VMM as the network handler of the
+    machine's address. *)
+val create : Machine.t -> t
+
+val machine : t -> Machine.t
+
+(** [host ?channel t ~group ~app ~peers] starts the next replica of
+    [group]'s VM on this machine. [peers] are the other replicas' VMM
+    addresses (empty in baseline mode). When [channel] (the VM's PGM-style
+    multicast group, shared with the peers and the ingress) is given,
+    proposals and epoch reports travel over it — reliable under fabric loss,
+    as the paper's OpenPGM usage provides; otherwise they go as plain
+    unicast packets. The guest boots immediately at the current time. *)
+val host :
+  ?channel:Sw_net.Multicast.group ->
+  ?start:Sw_sim.Time.t ->
+  t ->
+  group:Replica_group.t ->
+  app:Sw_vm.App.factory ->
+  peers:Sw_net.Address.t list ->
+  instance
+
+val instance_of_vm : t -> int -> instance option
+val vm : instance -> int
+val replica : instance -> int
+val guest : instance -> Sw_vm.Guest.t
+
+(** Network interrupts injected into this replica. *)
+val net_deliveries : instance -> int
+
+(** Disk interrupts injected into this replica (Fig. 7(b)'s quantity). *)
+val disk_interrupts : instance -> int
+
+(** DMA-completion interrupts injected into this replica. *)
+val dma_interrupts : instance -> int
+
+(** Virtual inter-delivery times of network interrupts, in ms — the
+    attacker-observable quantity of Fig. 4(a). *)
+val inter_delivery_virts_ms : instance -> float array
+
+(** Times data was not ready by its virtual disk-delivery time. *)
+val delta_d_violations : instance -> int
+
+(** Per replica id, how many network-interrupt medians adopted that
+    replica's proposal (ties split evenly). A collaborating attacker loading
+    one machine tries to push that replica out of this distribution
+    (paper Sec. IX). *)
+val median_source_counts : instance -> float array
+
+(** Packets this VMM could not attribute to a hosted guest. *)
+val unknown_packets : t -> int
+
+(** [set_trace i tr] makes the replica emit protocol events (inbound packet
+    buffered, proposal sent/received, median adopted, interrupt injected)
+    into [tr] — used by the Fig. 2 reproduction and by protocol tests. *)
+val set_trace : instance -> Sw_sim.Trace.t -> unit
+
+(** [rebuild i] reconstructs the replica's guest by deterministic replay of
+    its recorded history (requires [Config.replay_log]); the clone's branch
+    counter, virtual clock, application state and packet numbering all match
+    the live guest — the recovery mechanism of paper footnote 4. Returns the
+    clone without installing it. *)
+val rebuild : instance -> Sw_vm.Guest.t
+
+(** [recover i] rebuilds and swaps the clone in as the live guest. *)
+val recover : instance -> unit

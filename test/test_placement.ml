@@ -1,0 +1,315 @@
+(* Tests for the placement library: quasigroup structure, Bose's Steiner
+   construction, Theorem 1 packing numbers against known maxima, and
+   Theorem 2 placements validated against the StopWatch constraints. *)
+
+module Q = Sw_placement.Quasigroup
+module Tri = Sw_placement.Triangle
+module St = Sw_placement.Steiner
+module Pk = Sw_placement.Packing
+module Pl = Sw_placement.Placement
+
+(* --- Quasigroup ----------------------------------------------------------- *)
+
+let test_quasigroup_basic () =
+  let q = Q.create 7 in
+  Alcotest.(check int) "order" 7 (Q.order q);
+  Alcotest.(check bool) "idempotent" true (Q.is_idempotent q);
+  Alcotest.(check bool) "commutative" true (Q.is_commutative q);
+  Alcotest.(check bool) "latin" true (Q.is_latin_square q)
+
+let test_quasigroup_even_rejected () =
+  Alcotest.check_raises "even order" (Invalid_argument "x") (fun () ->
+      try ignore (Q.create 4) with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let prop_quasigroup_properties =
+  QCheck.Test.make ~name:"odd-order quasigroups are idempotent commutative latin"
+    ~count:30
+    QCheck.(int_range 0 30)
+    (fun k ->
+      let n = (2 * k) + 1 in
+      let q = Q.create n in
+      Q.is_idempotent q && Q.is_commutative q && Q.is_latin_square q)
+
+(* --- Triangle -------------------------------------------------------------- *)
+
+let test_triangle_normalisation () =
+  let t = Tri.make 5 1 3 in
+  Alcotest.(check (list int)) "sorted vertices" [ 1; 3; 5 ] (Tri.vertices t);
+  Alcotest.(check bool) "mem" true (Tri.mem 3 t);
+  Alcotest.(check bool) "not mem" false (Tri.mem 2 t);
+  Alcotest.(check int) "edges" 3 (List.length (Tri.edges t))
+
+let test_triangle_degenerate () =
+  Alcotest.check_raises "repeated vertex" (Invalid_argument "x") (fun () ->
+      try ignore (Tri.make 1 1 2) with Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_edge_disjoint () =
+  let a = Tri.make 0 1 2 and b = Tri.make 0 3 4 and c = Tri.make 1 3 5 in
+  Alcotest.(check bool) "disjoint family" true (Tri.edge_disjoint [ a; b; c ]);
+  let d = Tri.make 0 1 5 in
+  Alcotest.(check bool) "shared edge 0-1" false (Tri.edge_disjoint [ a; d ])
+
+(* --- Steiner --------------------------------------------------------------- *)
+
+let sts_size n = n * (n - 1) / 6
+
+let test_bose_sizes () =
+  List.iter
+    (fun v ->
+      let n = (6 * v) + 3 in
+      let sys = St.system ~v in
+      Alcotest.(check int)
+        (Printf.sprintf "STS(%d) size" n)
+        (sts_size n) (List.length sys);
+      Alcotest.(check bool) "edge disjoint" true (Tri.edge_disjoint sys))
+    [ 1; 2; 3; 4 ]
+
+let test_bose_covers_all_edges () =
+  (* An STS is a perfect edge cover: every pair appears exactly once. *)
+  let v = 2 in
+  let n = 15 in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun t -> List.iter (fun e -> Hashtbl.replace seen e ()) (Tri.edges t))
+    (St.system ~v);
+  Alcotest.(check int) "all edges covered" (n * (n - 1) / 2) (Hashtbl.length seen)
+
+let test_groups_structure () =
+  let v = 3 in
+  let groups = St.groups ~v in
+  Alcotest.(check int) "group count" (v + 1) (Array.length groups);
+  Alcotest.(check int) "G0 size" ((2 * v) + 1) (List.length groups.(0));
+  for t = 1 to v do
+    Alcotest.(check int)
+      (Printf.sprintf "G%d size" t)
+      ((6 * v) + 3)
+      (List.length groups.(t))
+  done;
+  (* G0 visits each node exactly once; each Gt (t>=1) exactly three times. *)
+  let visits group =
+    let count = Array.make ((6 * v) + 3) 0 in
+    List.iter
+      (fun tri -> List.iter (fun x -> count.(x) <- count.(x) + 1) (Tri.vertices tri))
+      group;
+    count
+  in
+  Array.iter (fun c -> Alcotest.(check int) "G0 visit" 1 c) (visits groups.(0));
+  Array.iter (fun c -> Alcotest.(check int) "G1 visits" 3 c) (visits groups.(1))
+
+let test_partial_gv_node_disjoint () =
+  let v = 4 in
+  let p = St.partial_gv ~v in
+  Alcotest.(check int) "size v" v (List.length p);
+  let nodes = List.concat_map Tri.vertices p in
+  Alcotest.(check int)
+    "nodes distinct" (List.length nodes)
+    (List.length (List.sort_uniq compare nodes))
+
+let prop_bose_edge_disjoint =
+  QCheck.Test.make ~name:"Bose STS is edge-disjoint for all v" ~count:8
+    QCheck.(int_range 1 8)
+    (fun v ->
+      let sys = St.system ~v in
+      Tri.edge_disjoint sys
+      && List.length sys = sts_size ((6 * v) + 3))
+
+(* --- Packing (Theorem 1) ---------------------------------------------------- *)
+
+let test_theorem1_known_values () =
+  (* Known maximum triangle packings: STS for n = 1,3 mod 6; leave(K_n)
+     values otherwise. *)
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "max packing K_%d" n)
+        expected (Pk.max_packing_size n))
+    [ (3, 1); (4, 1); (5, 2); (6, 4); (7, 7); (8, 8); (9, 12); (10, 13); (13, 26) ]
+
+let test_greedy_valid () =
+  List.iter
+    (fun n ->
+      let packing = Pk.greedy n in
+      Alcotest.(check bool)
+        (Printf.sprintf "greedy K_%d disjoint" n)
+        true
+        (Tri.edge_disjoint packing);
+      if List.length packing > Pk.max_packing_size n then
+        Alcotest.fail "greedy exceeds the maximum")
+    [ 3; 5; 7; 9; 12; 20 ]
+
+(* --- Placement (Theorem 2) --------------------------------------------------- *)
+
+let test_theorem2_bounds () =
+  Alcotest.(check int) "c=0 mod 3" 9 (Pl.theorem2_bound ~n:9 ~c:3);
+  Alcotest.(check int) "c=1 mod 3" 12 (Pl.theorem2_bound ~n:9 ~c:4);
+  Alcotest.(check int) "c=2 mod 3" ((1 * 15 / 3) + 2) (Pl.theorem2_bound ~n:15 ~c:2)
+
+let test_theorem2_rejections () =
+  (match Pl.theorem2_place ~n:10 ~c:2 ~k:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "n=10 must be rejected");
+  (match Pl.theorem2_place ~n:9 ~c:5 ~k:1 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "c beyond (n-1)/2 must be rejected");
+  match Pl.theorem2_place ~n:9 ~c:3 ~k:10 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "k beyond bound must be rejected"
+
+let prop_theorem2_max_placements_valid =
+  QCheck.Test.make ~name:"Theorem 2 placements at the bound verify" ~count:40
+    QCheck.(pair (int_range 1 5) (int_range 1 100))
+    (fun (v, c_seed) ->
+      let n = (6 * v) + 3 in
+      let c = 1 + (c_seed mod ((n - 1) / 2)) in
+      let k = Pl.theorem2_bound ~n ~c in
+      match Pl.theorem2_place ~n ~c ~k with
+      | Error _ -> false
+      | Ok plan -> (
+          List.length plan.Pl.placements = k
+          && match Pl.verify plan with Ok () -> true | Error _ -> false))
+
+let test_verify_catches_violations () =
+  let bad_edge =
+    { Pl.machines = 6; capacity = 3; placements = [ Tri.make 0 1 2; Tri.make 0 1 3 ] }
+  in
+  (match Pl.verify bad_edge with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "shared edge must be rejected");
+  let bad_capacity =
+    {
+      Pl.machines = 7;
+      capacity = 1;
+      placements = [ Tri.make 0 1 2; Tri.make 0 3 4 ];
+    }
+  in
+  (match Pl.verify bad_capacity with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "capacity overflow must be rejected");
+  let bad_range =
+    { Pl.machines = 3; capacity = 1; placements = [ Tri.make 1 2 3 ] }
+  in
+  match Pl.verify bad_range with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range machine must be rejected"
+
+let test_greedy_place () =
+  let plan = Pl.greedy_place ~n:10 ~c:2 ~k:6 in
+  (match Pl.verify plan with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "greedy plan invalid: %s" e);
+  if List.length plan.Pl.placements > 6 then Alcotest.fail "greedy placed too many"
+
+let test_utilization () =
+  match Pl.theorem2_place ~n:9 ~c:4 ~k:12 with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      Alcotest.(check (float 1e-9)) "full utilization" 1.0 (Pl.utilization plan);
+      let loads = Pl.loads plan in
+      Array.iter (fun l -> Alcotest.(check int) "per-machine load" 4 l) loads
+
+(* --- Online scheduler -------------------------------------------------------- *)
+
+module Sched = Sw_placement.Scheduler
+
+let test_scheduler_fill () =
+  let t = Sched.create ~machines:9 ~capacity:4 in
+  let placed = ref 0 in
+  (try
+     while true do
+       match Sched.place t with
+       | Ok _ -> incr placed
+       | Error _ -> raise Exit
+     done
+   with Exit -> ());
+  (* Theorem 2's bound for n=9, c=4 is 12; the greedy scheduler must get a
+     decent fraction of it and never violate the constraints. *)
+  (match Sched.check t with Ok () -> () | Error e -> Alcotest.fail e);
+  if !placed < 8 then Alcotest.failf "greedy filled only %d of ~12" !placed
+
+let test_scheduler_remove_reuses () =
+  let t = Sched.create ~machines:6 ~capacity:2 in
+  let first =
+    match Sched.place t with Ok tri -> tri | Error e -> Alcotest.fail e
+  in
+  let occupancy = Sched.placed t in
+  Sched.remove t first;
+  Alcotest.(check int) "slot freed" (occupancy - 1) (Sched.placed t);
+  (match Sched.place t with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "re-place after removal failed: %s" e);
+  match Sched.check t with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_scheduler_remove_unknown () =
+  let t = Sched.create ~machines:6 ~capacity:2 in
+  Alcotest.check_raises "unknown triangle" (Invalid_argument "x") (fun () ->
+      try Sched.remove t (Sw_placement.Triangle.make 0 1 2) with
+      | Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let prop_scheduler_random_churn =
+  QCheck.Test.make ~name:"scheduler invariants hold under random churn" ~count:60
+    QCheck.(pair (int_range 6 15) (list_of_size Gen.(10 -- 60) (int_bound 99)))
+    (fun (n, ops) ->
+      let t = Sched.create ~machines:n ~capacity:3 in
+      let live = ref [] in
+      List.iter
+        (fun op ->
+          if op mod 3 = 0 && !live <> [] then begin
+            (* departure of the (op mod k)-th resident *)
+            let k = List.length !live in
+            let victim = List.nth !live (op mod k) in
+            Sched.remove t victim;
+            live := List.filter (fun x -> not (Sw_placement.Triangle.equal x victim)) !live
+          end
+          else
+            match Sched.place t with
+            | Ok tri -> live := tri :: !live
+            | Error _ -> ())
+        ops;
+      match Sched.check t with Ok () -> true | Error _ -> false)
+
+let () =
+  Alcotest.run "sw_placement"
+    [
+      ( "quasigroup",
+        [
+          Alcotest.test_case "order 7" `Quick test_quasigroup_basic;
+          Alcotest.test_case "even rejected" `Quick test_quasigroup_even_rejected;
+          QCheck_alcotest.to_alcotest prop_quasigroup_properties;
+        ] );
+      ( "triangle",
+        [
+          Alcotest.test_case "normalisation" `Quick test_triangle_normalisation;
+          Alcotest.test_case "degenerate rejected" `Quick test_triangle_degenerate;
+          Alcotest.test_case "edge disjointness" `Quick test_edge_disjoint;
+        ] );
+      ( "steiner",
+        [
+          Alcotest.test_case "Bose sizes" `Quick test_bose_sizes;
+          Alcotest.test_case "perfect edge cover" `Quick test_bose_covers_all_edges;
+          Alcotest.test_case "group structure" `Quick test_groups_structure;
+          Alcotest.test_case "partial Gv" `Quick test_partial_gv_node_disjoint;
+          QCheck_alcotest.to_alcotest prop_bose_edge_disjoint;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "Theorem 1 values" `Quick test_theorem1_known_values;
+          Alcotest.test_case "greedy validity" `Quick test_greedy_valid;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "Theorem 2 bounds" `Quick test_theorem2_bounds;
+          Alcotest.test_case "rejections" `Quick test_theorem2_rejections;
+          QCheck_alcotest.to_alcotest prop_theorem2_max_placements_valid;
+          Alcotest.test_case "verify catches violations" `Quick
+            test_verify_catches_violations;
+          Alcotest.test_case "greedy placement" `Quick test_greedy_place;
+          Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "fill" `Quick test_scheduler_fill;
+          Alcotest.test_case "remove & reuse" `Quick test_scheduler_remove_reuses;
+          Alcotest.test_case "remove unknown" `Quick test_scheduler_remove_unknown;
+          QCheck_alcotest.to_alcotest prop_scheduler_random_churn;
+        ] );
+    ]

@@ -1,0 +1,328 @@
+(* Tests for the simulation substrate: time arithmetic, the event heap, the
+   PRNG, the engine's ordering guarantees, and the statistics collectors. *)
+
+module Time = Sw_sim.Time
+module Heap = Sw_sim.Heap
+module Prng = Sw_sim.Prng
+module Engine = Sw_sim.Engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Time --------------------------------------------------------------- *)
+
+let test_time_units () =
+  Alcotest.(check int64) "us" 1_000L (Time.us 1);
+  Alcotest.(check int64) "ms" 1_000_000L (Time.ms 1);
+  Alcotest.(check int64) "s" 1_000_000_000L (Time.s 1);
+  Alcotest.(check int64) "of_float_s" 1_500_000_000L (Time.of_float_s 1.5);
+  check_float "to_float_ms" 1.5 (Time.to_float_ms (Time.us 1500))
+
+let test_time_arith () =
+  let a = Time.ms 5 and b = Time.ms 3 in
+  Alcotest.(check int64) "add" (Time.ms 8) (Time.add a b);
+  Alcotest.(check int64) "sub" (Time.ms 2) (Time.sub a b);
+  Alcotest.(check int64) "mul_int" (Time.ms 15) (Time.mul_int a 3);
+  Alcotest.(check int64) "div_int" (Time.ms 1) (Time.div_int b 3);
+  Alcotest.(check int64) "scale" (Time.ms 10) (Time.scale a 2.0);
+  Alcotest.(check bool) "lt" true Time.(b < a);
+  Alcotest.(check bool) "min" true (Time.equal b (Time.min a b));
+  Alcotest.(check bool) "negative" true (Time.is_negative (Time.sub b a))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "500ns" (Time.to_string (Time.ns 500));
+  Alcotest.(check string) "ms" "1.500ms" (Time.to_string (Time.us 1500))
+
+(* --- Heap --------------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iteri
+    (fun i k -> Heap.push h ~key:(Int64.of_int k) ~seq:i i)
+    [ 5; 1; 4; 1; 3 ];
+  let order = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (k, _, _) ->
+        order := k :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int64)) "sorted" [ 1L; 1L; 3L; 4L; 5L ] (List.rev !order)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~key:7L ~seq:i i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop_min h with
+    | None -> ()
+    | Some (_, _, v) ->
+        out := v :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (List.rev !out)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:(Int64.of_int k) ~seq:i ()) keys;
+      let rec drain last =
+        match Heap.pop_min h with
+        | None -> true
+        | Some (k, _, ()) -> Int64.compare last k <= 0 && drain k
+      in
+      drain Int64.min_int)
+
+(* --- Prng --------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let root = Prng.create 42L in
+  let a = Prng.split root in
+  let b = Prng.split root in
+  Alcotest.(check bool) "split streams differ" true
+    (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_float_range () =
+  let rng = Prng.create 7L in
+  for _ = 1 to 10_000 do
+    let x = Prng.float rng in
+    if x < 0. || x >= 1. then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create 9L in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng ~rate:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.5) > 0.02 then
+    Alcotest.failf "exponential mean %f too far from 0.5" mean
+
+let test_prng_normal_moments () =
+  let rng = Prng.create 3L in
+  let s = Sw_sim.Summary.create () in
+  for _ = 1 to 50_000 do
+    Sw_sim.Summary.add s (Prng.normal rng ~mean:5. ~stddev:2.)
+  done;
+  if Float.abs (Sw_sim.Summary.mean s -. 5.) > 0.05 then
+    Alcotest.failf "normal mean %f" (Sw_sim.Summary.mean s);
+  if Float.abs (Sw_sim.Summary.stddev s -. 2.) > 0.05 then
+    Alcotest.failf "normal stddev %f" (Sw_sim.Summary.stddev s)
+
+let test_prng_shuffle_permutes () =
+  let rng = Prng.create 4L in
+  let a = Array.init 100 (fun i -> i) in
+  Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 (fun i -> i)) sorted;
+  Alcotest.(check bool) "actually permuted" true (a <> Array.init 100 (fun i -> i))
+
+let test_prng_choose () =
+  let rng = Prng.create 5L in
+  for _ = 1 to 100 do
+    let x = Prng.choose rng [ 1; 2; 3 ] in
+    if x < 1 || x > 3 then Alcotest.fail "choose out of list"
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "x") (fun () ->
+      try ignore (Prng.choose rng ([] : int list)) with
+      | Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let prop_prng_int_bound =
+  QCheck.Test.make ~name:"Prng.int respects bound" ~count:500
+    QCheck.(int_range 1 1_000_000)
+    (fun n ->
+      let rng = Prng.create (Int64.of_int n) in
+      let x = Prng.int rng n in
+      x >= 0 && x < n)
+
+(* --- Engine ------------------------------------------------------------- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at e (Time.ms 2) (fun () -> log := 2 :: !log));
+  ignore (Engine.schedule_at e (Time.ms 1) (fun () -> log := 1 :: !log));
+  ignore (Engine.schedule_at e (Time.ms 3) (fun () -> log := 3 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int64) "clock at last event" (Time.ms 3) (Engine.now e)
+
+let test_engine_same_instant_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Engine.schedule_at e (Time.ms 1) (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let id = Engine.schedule_at e (Time.ms 1) (fun () -> fired := true) in
+  Engine.cancel e id;
+  Engine.run e;
+  Alcotest.(check bool) "cancelled" false !fired;
+  Alcotest.(check int) "pending" 0 (Engine.pending e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule_at e (Time.ms i) (fun () -> incr count))
+  done;
+  Engine.run ~until:(Time.ms 5) e;
+  Alcotest.(check int) "events at <= until fire" 5 !count;
+  Alcotest.(check int64) "clock parked at until" (Time.ms 5) (Engine.now e);
+  Engine.run e;
+  Alcotest.(check int) "rest fire" 10 !count
+
+let test_engine_past_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_at e (Time.ms 5) (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past scheduling" (Invalid_argument "x") (fun () ->
+      try ignore (Engine.schedule_at e (Time.ms 1) (fun () -> ())) with
+      | Invalid_argument _ -> raise (Invalid_argument "x"))
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at e (Time.ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule_after e (Time.ms 1) (fun () -> log := "inner" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
+
+(* --- Summary / Samples --------------------------------------------------- *)
+
+let test_summary_basic () =
+  let s = Sw_sim.Summary.create () in
+  List.iter (Sw_sim.Summary.add s) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Sw_sim.Summary.count s);
+  check_float "mean" 2.5 (Sw_sim.Summary.mean s);
+  check_float "min" 1. (Sw_sim.Summary.min s);
+  check_float "max" 4. (Sw_sim.Summary.max s);
+  check_float "total" 10. (Sw_sim.Summary.total s);
+  Alcotest.(check (float 1e-9)) "variance" (5. /. 3.) (Sw_sim.Summary.variance s)
+
+let prop_summary_merge =
+  QCheck.Test.make ~name:"Summary.merge equals combined stream" ~count:200
+    QCheck.(pair (list (float_bound_inclusive 100.)) (list (float_bound_inclusive 100.)))
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] && ys <> []);
+      let a = Sw_sim.Summary.create () and b = Sw_sim.Summary.create () in
+      let c = Sw_sim.Summary.create () in
+      List.iter
+        (fun x ->
+          Sw_sim.Summary.add a x;
+          Sw_sim.Summary.add c x)
+        xs;
+      List.iter
+        (fun y ->
+          Sw_sim.Summary.add b y;
+          Sw_sim.Summary.add c y)
+        ys;
+      let m = Sw_sim.Summary.merge a b in
+      Float.abs (Sw_sim.Summary.mean m -. Sw_sim.Summary.mean c) < 1e-6
+      && Float.abs (Sw_sim.Summary.variance m -. Sw_sim.Summary.variance c) < 1e-6
+      && Sw_sim.Summary.count m = Sw_sim.Summary.count c)
+
+let test_samples_percentiles () =
+  let s = Sw_sim.Samples.create () in
+  for i = 1 to 100 do
+    Sw_sim.Samples.add s (float_of_int i)
+  done;
+  check_float "median" 50.5 (Sw_sim.Samples.median s);
+  check_float "p0" 1. (Sw_sim.Samples.percentile s 0.);
+  check_float "p100" 100. (Sw_sim.Samples.percentile s 1.);
+  check_float "ecdf" 0.5 (Sw_sim.Samples.ecdf s 50.)
+
+let test_samples_histogram () =
+  let s = Sw_sim.Samples.create () in
+  List.iter (Sw_sim.Samples.add s) [ 0.1; 0.2; 0.6; 0.9; 1.5; -3. ];
+  let h = Sw_sim.Samples.histogram s ~bins:2 ~lo:0. ~hi:1. in
+  (* Outliers clamp into end bins. *)
+  Alcotest.(check (array int)) "bins" [| 3; 3 |] h
+
+(* --- Trace --------------------------------------------------------------- *)
+
+let test_trace_disabled_noop () =
+  let tr = Sw_sim.Trace.create () in
+  Sw_sim.Trace.emit tr ~at:Time.zero ~label:"x" "hello";
+  Alcotest.(check int) "disabled" 0 (Sw_sim.Trace.length tr)
+
+let test_trace_ring () =
+  let tr = Sw_sim.Trace.create ~capacity:3 () in
+  Sw_sim.Trace.enable tr;
+  for i = 1 to 5 do
+    Sw_sim.Trace.emit tr ~at:(Time.ms i) ~label:"t" (string_of_int i)
+  done;
+  let messages = List.map (fun e -> e.Sw_sim.Trace.message) (Sw_sim.Trace.entries tr) in
+  Alcotest.(check (list string)) "last 3 kept" [ "3"; "4"; "5" ] messages
+
+let () =
+  Alcotest.run "sw_sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "pretty-printing" `Quick test_time_pp;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          QCheck_alcotest.to_alcotest prop_heap_sorted;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "exponential mean" `Quick test_prng_exponential_mean;
+          Alcotest.test_case "normal moments" `Quick test_prng_normal_moments;
+          Alcotest.test_case "shuffle" `Quick test_prng_shuffle_permutes;
+          Alcotest.test_case "choose" `Quick test_prng_choose;
+          QCheck_alcotest.to_alcotest prop_prng_int_bound;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "same-instant fifo" `Quick test_engine_same_instant_fifo;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+        ] );
+      ( "collectors",
+        [
+          Alcotest.test_case "summary basic" `Quick test_summary_basic;
+          QCheck_alcotest.to_alcotest prop_summary_merge;
+          Alcotest.test_case "samples percentiles" `Quick test_samples_percentiles;
+          Alcotest.test_case "samples histogram" `Quick test_samples_histogram;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is noop" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "ring keeps most recent" `Quick test_trace_ring;
+        ] );
+    ]
