@@ -1,0 +1,90 @@
+(* `main.exe quick`: a down-scaled subset of the headline experiments run
+   through the runner, fast enough to sit alongside `dune runtest` (the
+   @bench-quick alias), writing the same BENCH_results.json so CI gets a
+   perf/regression data point from every build. *)
+
+open Sw_experiments
+module Ft = File_transfer
+module Runner = Sw_runner.Runner
+module Report = Sw_runner.Report
+
+let ft_group ~protocol ~stopwatch =
+  ( Printf.sprintf "download/%s/%s"
+      (match protocol with Ft.Http -> "http" | Ft.Udp -> "udp")
+      (if stopwatch then "sw" else "base"),
+    List.map
+      (Sw_runner.Job.map (fun (ms, _div) -> ms))
+      (Ft.jobs ~protocol ~stopwatch ~size_bytes:102_400 ~runs:2 ()) )
+
+let nfs_group ~stopwatch =
+  ( Printf.sprintf "nfs/%s" (if stopwatch then "sw" else "base"),
+    [
+      Sw_runner.Job.map
+        (fun (o : Nfs_bench.outcome) -> o.Nfs_bench.mean_latency_ms)
+        (Nfs_bench.job ~stopwatch ~rate_per_s:100. ~ops:150 ());
+    ] )
+
+let parsec_group ~stopwatch =
+  ( Printf.sprintf "parsec-ferret/%s" (if stopwatch then "sw" else "base"),
+    [
+      Sw_runner.Job.map
+        (fun (o : Parsec_bench.outcome) -> o.Parsec_bench.runtime_ms)
+        (Parsec_bench.job ~stopwatch Sw_apps.Parsec.ferret);
+    ] )
+
+let groups =
+  [
+    ft_group ~protocol:Ft.Http ~stopwatch:false;
+    ft_group ~protocol:Ft.Http ~stopwatch:true;
+    ft_group ~protocol:Ft.Udp ~stopwatch:false;
+    ft_group ~protocol:Ft.Udp ~stopwatch:true;
+    nfs_group ~stopwatch:false;
+    nfs_group ~stopwatch:true;
+    parsec_group ~stopwatch:false;
+    parsec_group ~stopwatch:true;
+  ]
+
+let run ?pool () =
+  Tables.section "Quick bench (down-scaled subset via the runner)";
+  let total = List.fold_left (fun n (_, js) -> n + List.length js) 0 groups in
+  let on_event =
+    match pool with
+    | Some _ -> Some (Runner.progress_printer ~total ())
+    | None -> None
+  in
+  let collected = Runner.map_groups ?pool ?on_event groups in
+  Tables.header ~width:24 [ "experiment"; "mean ms"; "runs"; "failed" ];
+  let entries =
+    List.map
+      (fun (name, outcomes) ->
+        (* Aggregate replicated runs with Summary.merge — the same path a
+           sharded sweep uses, so quick mode also guards that plumbing. *)
+        let summary =
+          Runner.merge_summaries
+            (List.map
+               (fun o ->
+                 Result.map
+                   (fun ms ->
+                     let s = Sw_sim.Summary.create () in
+                     Sw_sim.Summary.add s ms;
+                     s)
+                   o)
+               outcomes)
+        in
+        let failures = Runner.failures outcomes in
+        Tables.row ~width:24
+          [
+            name;
+            Tables.f1 (Sw_sim.Summary.mean summary);
+            string_of_int (Sw_sim.Summary.count summary);
+            string_of_int (List.length failures);
+          ];
+        ( name,
+          Report.Obj
+            [
+              ("latency_ms", Report.of_summary summary);
+              ("failures", Bench_report.failures_json failures);
+            ] ))
+      collected
+  in
+  Bench_report.add "quick" (Report.Obj entries)

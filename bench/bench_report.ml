@@ -1,0 +1,22 @@
+(* Collector for the machine-readable side of a bench run. Figures register
+   deterministic result entries as they complete; [write] assembles them with
+   the (non-deterministic) wall-clock timings into BENCH_results.json, the
+   artefact that makes the perf trajectory trackable across PRs. *)
+
+module Report = Sw_runner.Report
+
+let entries : (string * Report.t) list ref = ref []
+let timings : (string * float) list ref = ref []
+
+let add name json = entries := (name, json) :: !entries
+let add_timing name wall_s = timings := (name, wall_s) :: !timings
+
+let failures_json fs = Report.List (List.map Report.of_failure fs)
+
+let path = "BENCH_results.json"
+
+let write ~workers ~wall_s =
+  Report.write path
+    (Report.bench_file ~workers ~wall_s ~timings:(List.rev !timings)
+       ~experiments:(List.rev !entries));
+  Printf.printf "\n[results written to %s]\n%!" path

@@ -1,10 +1,15 @@
 (* Fig. 4: virtual inter-packet delivery times at an attacker VM's replicas
    with a coresident file-serving victim vs without, from full simulations;
    and the observations needed to distinguish the two, with and without
-   StopWatch. *)
+   StopWatch.
+
+   The four 60 s scenario simulations are independent; they run as one
+   runner fleet (sharded under -j), each job's seed fixed in its spec. *)
 
 open Sw_experiments
 module Scenario = Sw_attack.Scenario
+module Runner = Sw_runner.Runner
+module Report = Sw_runner.Report
 
 let duration = Sw_sim.Time.s 60
 
@@ -23,13 +28,36 @@ let cdf_table sw_no sw_yes =
         [ Tables.f0 x; Tables.f2 (ecdf sw_no x); Tables.f2 (ecdf sw_yes x) ])
     [ 5.; 10.; 20.; 30.; 40.; 60.; 80. ]
 
-let run () =
+let run ?pool () =
   Tables.section "Fig. 4 — attacker observations under a coresident victim (simulated)";
   let base = { Scenario.default with Scenario.duration } in
-  let sw_no = Scenario.run { base with Scenario.victim = false } in
-  let sw_yes = Scenario.run { base with Scenario.victim = true } in
-  let bl_no = Scenario.run { base with Scenario.baseline = true; victim = false } in
-  let bl_yes = Scenario.run { base with Scenario.baseline = true; victim = true } in
+  let specs =
+    [
+      ("fig4/sw/no-victim", { base with Scenario.victim = false });
+      ("fig4/sw/victim", { base with Scenario.victim = true });
+      ("fig4/base/no-victim", { base with Scenario.baseline = true; victim = false });
+      ("fig4/base/victim", { base with Scenario.baseline = true; victim = true });
+    ]
+  in
+  let jobs =
+    List.map
+      (fun (key, spec) ->
+        (* The scenario's seed lives in its spec; the runner seed is unused
+           so output stays bit-compatible with the sequential harness. *)
+        Sw_runner.Job.make ~key (fun ~seed:_ -> Scenario.run spec))
+      specs
+  in
+  let on_event =
+    match pool with
+    | Some _ -> Some (Runner.progress_printer ~total:(List.length jobs) ())
+    | None -> None
+  in
+  let results = List.map Runner.get (Runner.map ?pool ?on_event jobs) in
+  let sw_no, sw_yes, bl_no, bl_yes =
+    match results with
+    | [ a; b; c; d ] -> (a, b, c, d)
+    | _ -> assert false
+  in
   cdf_table sw_no.Scenario.attacker_inter_delivery_ms
     sw_yes.Scenario.attacker_inter_delivery_ms;
   Tables.subsection "Fig. 4(b): observations needed to detect the victim (chi-square)";
@@ -54,8 +82,8 @@ let run () =
       ~null:null.Scenario.attacker_inter_delivery_ms
       ~alt:alt.Scenario.attacker_inter_delivery_ms ~confidence:0.95
   in
-  Printf.printf "  with StopWatch: %.0f observations; without: %.0f\n"
-    (ks sw_no sw_yes) (ks bl_no bl_yes);
+  let ks_sw = ks sw_no sw_yes and ks_bl = ks bl_no bl_yes in
+  Printf.printf "  with StopWatch: %.0f observations; without: %.0f\n" ks_sw ks_bl;
   Tables.subsection
     "External observer (Sec. VI): real inter-arrival times of attacker output";
   let ks_ext null alt =
@@ -75,4 +103,12 @@ let run () =
     (ks_ext bl_no bl_yes);
   Printf.printf "\n(divergences: sw=%d / %d deliveries; samples n=%d)\n"
     sw_yes.Scenario.divergences sw_yes.Scenario.deliveries
-    (Array.length sw_yes.Scenario.attacker_inter_delivery_ms)
+    (Array.length sw_yes.Scenario.attacker_inter_delivery_ms);
+  Bench_report.add "fig4"
+    (Report.Obj
+       [
+         ("deliveries", Report.Int sw_yes.Scenario.deliveries);
+         ("divergences", Report.Int sw_yes.Scenario.divergences);
+         ("ks95_with_stopwatch", Report.Float ks_sw);
+         ("ks95_without_stopwatch", Report.Float ks_bl);
+       ])

@@ -2,10 +2,14 @@
    StopWatch, and the disk-interrupt counts the overhead correlates with.
    Paper reference: baseline {171, 177, 1530, 3730, 290} ms, StopWatch
    {350, 401, 3230, 5754, 382} ms, interrupts {31, 38, 183, 293, 27};
-   max overhead 2.3x (blackscholes). *)
+   max overhead 2.3x (blackscholes).
+
+   The 5 apps x 2 modes run as one runner fleet, sharded under -j. *)
 
 open Sw_experiments
 module Pb = Parsec_bench
+module Runner = Sw_runner.Runner
+module Report = Sw_runner.Report
 
 let paper_values =
   [
@@ -16,14 +20,32 @@ let paper_values =
     ("streamcluster", 290., 382.);
   ]
 
-let run () =
+let run ?pool () =
   Tables.section "Fig. 7 — PARSEC application runtimes and disk interrupts";
+  let groups =
+    List.map
+      (fun (profile : Sw_apps.Parsec.profile) ->
+        (profile, [ Pb.job ~stopwatch:false profile; Pb.job ~stopwatch:true profile ]))
+      Sw_apps.Parsec.all_profiles
+  in
+  let on_event =
+    match pool with
+    | Some _ ->
+        Some (Runner.progress_printer ~total:(2 * List.length groups) ())
+    | None -> None
+  in
+  let rows =
+    List.map
+      (fun (profile, outcomes) ->
+        match List.map Runner.get outcomes with
+        | [ b; s ] -> (profile, b, s)
+        | _ -> assert false)
+      (Runner.map_groups ?pool ?on_event groups)
+  in
   Tables.header ~width:13
     [ "app"; "base ms"; "sw ms"; "ratio"; "ints"; "paper b"; "paper sw"; "viol" ];
   List.iter
-    (fun (profile : Sw_apps.Parsec.profile) ->
-      let b = Pb.run ~stopwatch:false profile in
-      let s = Pb.run ~stopwatch:true profile in
+    (fun ((profile : Sw_apps.Parsec.profile), (b : Pb.outcome), (s : Pb.outcome)) ->
       let paper_b, paper_s =
         match List.assoc_opt profile.Sw_apps.Parsec.name
                 (List.map (fun (n, b, s) -> (n, (b, s))) paper_values)
@@ -42,4 +64,18 @@ let run () =
           Tables.f0 paper_s;
           string_of_int s.Pb.delta_d_violations;
         ])
-    Sw_apps.Parsec.all_profiles
+    rows;
+  Bench_report.add "fig7"
+    (Report.List
+       (List.map
+          (fun ((profile : Sw_apps.Parsec.profile), (b : Pb.outcome), (s : Pb.outcome)) ->
+            Report.Obj
+              [
+                ("app", Report.String profile.Sw_apps.Parsec.name);
+                ("baseline_ms", Report.Float b.Pb.runtime_ms);
+                ("stopwatch_ms", Report.Float s.Pb.runtime_ms);
+                ("ratio", Report.Float (s.Pb.runtime_ms /. b.Pb.runtime_ms));
+                ("disk_interrupts", Report.Int s.Pb.disk_interrupts);
+                ("delta_d_violations", Report.Int s.Pb.delta_d_violations);
+              ])
+          rows))

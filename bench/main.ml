@@ -2,45 +2,89 @@
    evaluation (see DESIGN.md's per-experiment index), plus ablations and
    bechamel micro-benchmarks.
 
-   Usage: main.exe [experiment ...]
+   Usage: main.exe [-j N] [experiment ...]
    where experiment is one of fig1 fig2 fig4 fig5 fig6 fig7 fig8 placement
-   theorems collusion ablation micro, or nothing / "all" for everything. *)
+   utilization theorems collusion ablation scale micro quick, or nothing /
+   "all" for everything except quick.
+
+   -j / --jobs N shards each experiment's independent simulations across N
+   worker domains via sw_runner; results are identical to -j 1 (per-job
+   seeds are derived before dispatch), only faster. Every invocation also
+   writes machine-readable results to BENCH_results.json. *)
 
 let experiments =
   [
-    ("fig1", Fig1.run);
-    ("fig2", Fig2.run);
-    ("fig4", Fig4.run);
-    ("fig5", Fig5.run);
-    ("fig6", Fig6.run);
-    ("fig7", Fig7.run);
-    ("fig8", Fig8.run);
-    ("placement", Bench_placement.run);
-    ("utilization", Bench_utilization.run);
-    ("theorems", Bench_theorems.run);
-    ("collusion", Bench_collusion.run);
-    ("ablation", Bench_ablation.run);
-    ("scale", Bench_scale.run);
-    ("micro", Bench_micro.run);
+    ("fig1", fun ~pool:_ -> Fig1.run ());
+    ("fig2", fun ~pool:_ -> Fig2.run ());
+    ("fig4", fun ~pool -> Fig4.run ?pool ());
+    ("fig5", fun ~pool -> Fig5.run ?pool ());
+    ("fig6", fun ~pool -> Fig6.run ?pool ());
+    ("fig7", fun ~pool -> Fig7.run ?pool ());
+    ("fig8", fun ~pool:_ -> Fig8.run ());
+    ("placement", fun ~pool:_ -> Bench_placement.run ());
+    ("utilization", fun ~pool:_ -> Bench_utilization.run ());
+    ("theorems", fun ~pool:_ -> Bench_theorems.run ());
+    ("collusion", fun ~pool:_ -> Bench_collusion.run ());
+    ("ablation", fun ~pool -> Bench_ablation.run ?pool ());
+    ("scale", fun ~pool:_ -> Bench_scale.run ());
+    ("micro", fun ~pool:_ -> Bench_micro.run ());
+    ("quick", fun ~pool -> Bench_quick.run ?pool ());
   ]
 
-let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: rest when rest <> [] && rest <> [ "all" ] -> rest
-    | _ -> List.map fst experiments
+let default_set =
+  List.filter (fun (name, _) -> name <> "quick") experiments |> List.map fst
+
+let usage () =
+  Printf.eprintf "usage: main.exe [-j N] [experiment ...]\navailable: %s\n"
+    (String.concat ", " (List.map fst experiments));
+  exit 2
+
+let parse_args () =
+  let jobs = ref 1 in
+  let names = ref [] in
+  let rec go = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            jobs := v;
+            go rest
+        | _ ->
+            Printf.eprintf "-j expects a positive integer, got %S\n" n;
+            exit 2)
+    | ("-j" | "--jobs") :: [] ->
+        Printf.eprintf "-j expects a worker count\n";
+        exit 2
+    | name :: rest ->
+        names := name :: !names;
+        go rest
   in
-  let t0 = Sys.time () in
+  go (List.tl (Array.to_list Sys.argv));
+  let requested =
+    match List.rev !names with [] | [ "all" ] -> default_set | l -> l
+  in
+  List.iter
+    (fun name -> if not (List.mem_assoc name experiments) then usage ())
+    requested;
+  (!jobs, requested)
+
+let () =
+  let jobs, requested = parse_args () in
+  let pool =
+    if jobs > 1 then Some (Sw_runner.Pool.create ~workers:jobs ()) else None
+  in
+  if jobs > 1 then Printf.printf "[running on %d worker domains]\n%!" jobs;
+  let t0 = Sw_sim.Wall.now_s () in
   List.iter
     (fun name ->
-      match List.assoc_opt name experiments with
-      | Some f ->
-          let t = Sys.time () in
-          f ();
-          Printf.printf "\n[%s done in %.1f s]\n%!" name (Sys.time () -. t)
-      | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat ", " (List.map fst experiments));
-          exit 2)
+      let f = List.assoc name experiments in
+      let t = Sw_sim.Wall.now_s () in
+      f ~pool;
+      let wall = Sw_sim.Wall.elapsed_s t in
+      Bench_report.add_timing name wall;
+      Printf.printf "\n[%s done in %.1f s]\n%!" name wall)
     requested;
-  Printf.printf "\nTotal: %.1f s\n" (Sys.time () -. t0)
+  let total = Sw_sim.Wall.elapsed_s t0 in
+  Option.iter Sw_runner.Pool.shutdown pool;
+  Printf.printf "\nTotal: %.1f s\n" total;
+  Bench_report.write ~workers:jobs ~wall_s:total

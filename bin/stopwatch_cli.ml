@@ -50,20 +50,43 @@ let plan_cmd =
 
 (* --- download ----------------------------------------------------------- *)
 
+(* Shared -j/--jobs option: shard a command's independent simulations over
+   a sw_runner domain pool. Per-job seeds are fixed before dispatch, so any
+   worker count reports the same numbers. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:"Worker domains for independent runs (1 = sequential).")
+
+let with_pool jobs f =
+  if jobs < 1 then begin
+    Printf.eprintf "error: --jobs must be >= 1\n";
+    1
+  end
+  else if jobs = 1 then f None
+  else Sw_runner.Pool.with_pool ~workers:jobs (fun pool -> f (Some pool))
+
 let download_cmd =
-  let run size_kb udp baseline runs =
-    let open Sw_experiments in
-    let protocol = if udp then File_transfer.Udp else File_transfer.Http in
-    let o =
-      File_transfer.run ~protocol ~stopwatch:(not baseline)
-        ~size_bytes:(size_kb * 1024) ~runs ()
-    in
-    Printf.printf "%s %d KB, %s: %.1f ms (mean of %d runs; divergences %d)\n"
-      (if udp then "UDP" else "HTTP")
-      size_kb
-      (if baseline then "baseline" else "stopwatch")
-      o.File_transfer.elapsed_ms runs o.File_transfer.divergences;
-    0
+  let run size_kb udp baseline runs jobs =
+    with_pool jobs (fun pool ->
+        let open Sw_experiments in
+        let protocol = if udp then File_transfer.Udp else File_transfer.Http in
+        let o =
+          File_transfer.run ?pool ~protocol ~stopwatch:(not baseline)
+            ~size_bytes:(size_kb * 1024) ~runs ()
+        in
+        Printf.printf "%s %d KB, %s: %.1f ms (mean of %d runs; divergences %d)\n"
+          (if udp then "UDP" else "HTTP")
+          size_kb
+          (if baseline then "baseline" else "stopwatch")
+          o.File_transfer.elapsed_ms runs o.File_transfer.divergences;
+        List.iter
+          (fun f ->
+            Printf.printf "  failed run: %s\n"
+              (Format.asprintf "%a" Sw_runner.Runner.pp_failure f))
+          o.File_transfer.failed_runs;
+        0)
   in
   let size = Arg.(value & opt int 100 & info [ "size" ] ~doc:"File size in KB.") in
   let udp = Arg.(value & flag & info [ "udp" ] ~doc:"UDP+NAK instead of HTTP.") in
@@ -73,7 +96,7 @@ let download_cmd =
   let runs = Arg.(value & opt int 3 & info [ "runs" ] ~doc:"Averaging runs.") in
   Cmd.v
     (Cmd.info "download" ~doc:"Time a file retrieval (Fig. 5 point)")
-    Term.(const run $ size $ udp $ baseline $ runs)
+    Term.(const run $ size $ udp $ baseline $ runs $ jobs_arg)
 
 (* --- nfs ------------------------------------------------------------------ *)
 

@@ -1,5 +1,7 @@
 module Time = Sw_sim.Time
 module Cloud = Stopwatch.Cloud
+module Job = Sw_runner.Job
+module Runner = Sw_runner.Runner
 
 type protocol = Http | Udp
 
@@ -7,9 +9,12 @@ type outcome = {
   elapsed_ms : float;
   runs : float list;
   divergences : int;
+  failed_runs : Runner.failure list;
 }
 
 let paper_sizes = [ 1_024; 10_240; 102_400; 1_048_576; 10_485_760 ]
+
+let protocol_name = function Http -> "http" | Udp -> "udp"
 
 let one ?config ~seed ~protocol ~stopwatch ~size_bytes () =
   let cloud = Cloud.create ?config ~seed ~machines:3 () in
@@ -47,18 +52,36 @@ let one ?config ~seed ~protocol ~stopwatch ~size_bytes () =
   advance 0;
   (!result, Cloud.divergences d)
 
-let run ?config ?(seed = 0xF16_5L) ~protocol ~stopwatch ~size_bytes ~runs () =
-  if runs < 1 then invalid_arg "File_transfer.run: need >= 1 run";
-  let results =
-    List.init runs (fun i ->
-        one ?config
-          ~seed:(Int64.add seed (Int64.of_int (i * 7919)))
-          ~protocol ~stopwatch ~size_bytes ())
-  in
-  let times = List.map fst results in
-  let divergences = List.fold_left (fun acc (_, d) -> acc + d) 0 results in
-  {
-    elapsed_ms = List.fold_left ( +. ) 0. times /. float_of_int runs;
-    runs = times;
-    divergences;
-  }
+let jobs ?config ?(seed = 0xF16_5L) ~protocol ~stopwatch ~size_bytes ~runs () =
+  if runs < 1 then invalid_arg "File_transfer.jobs: need >= 1 run";
+  List.init runs (fun i ->
+      (* The historical per-run seed scheme, fixed per job before dispatch:
+         bit-compatible with the old sequential driver. *)
+      let run_seed = Int64.add seed (Int64.of_int (i * 7919)) in
+      let key =
+        Printf.sprintf "fig5/%s/%s/%dB/run%d" (protocol_name protocol)
+          (if stopwatch then "sw" else "base")
+          size_bytes i
+      in
+      Job.make ~seed:run_seed ~key (fun ~seed ->
+          one ?config ~seed ~protocol ~stopwatch ~size_bytes ()))
+
+let collect outcomes =
+  let results = Runner.successes outcomes in
+  let failed_runs = Runner.failures outcomes in
+  if results = [] then
+    { elapsed_ms = nan; runs = []; divergences = 0; failed_runs }
+  else
+    let times = List.map fst results in
+    let divergences = List.fold_left (fun acc (_, d) -> acc + d) 0 results in
+    {
+      elapsed_ms =
+        List.fold_left ( +. ) 0. times /. float_of_int (List.length times);
+      runs = times;
+      divergences;
+      failed_runs;
+    }
+
+let run ?config ?seed ?pool ~protocol ~stopwatch ~size_bytes ~runs () =
+  collect
+    (Runner.map ?pool (jobs ?config ?seed ~protocol ~stopwatch ~size_bytes ~runs ()))

@@ -5,16 +5,39 @@
 type protocol = Http | Udp
 
 type outcome = {
-  elapsed_ms : float;  (** Mean over runs. *)
+  elapsed_ms : float;  (** Mean over successful runs. *)
   runs : float list;
   divergences : int;
+  failed_runs : Sw_runner.Runner.failure list;
+      (** Runs abandoned by the runner (crash or timeout); excluded from
+          [elapsed_ms] and [runs] instead of aborting the sweep. *)
 }
 
-(** [run ?config ?seed ~protocol ~stopwatch ~size_bytes ~runs ()] performs
-    [runs] fresh-cloud downloads and averages. *)
+(** [jobs ?config ?seed ~protocol ~stopwatch ~size_bytes ~runs ()] is the
+    replicated measurement as independent runner jobs, one per run, each
+    returning [(elapsed_ms, divergences)]. Each job's cloud seed is fixed
+    at construction (derived from [seed] and the run index), so outcomes
+    are independent of worker count and dispatch order. *)
+val jobs :
+  ?config:Sw_vmm.Config.t ->
+  ?seed:int64 ->
+  protocol:protocol ->
+  stopwatch:bool ->
+  size_bytes:int ->
+  runs:int ->
+  unit ->
+  (float * int) Sw_runner.Job.t list
+
+(** [collect outcomes] aggregates one replicated measurement. *)
+val collect : (float * int) Sw_runner.Runner.outcome list -> outcome
+
+(** [run ?config ?seed ?pool ~protocol ~stopwatch ~size_bytes ~runs ()]
+    performs [runs] fresh-cloud downloads — in parallel when [pool] is
+    given, with identical results either way — and averages. *)
 val run :
   ?config:Sw_vmm.Config.t ->
   ?seed:int64 ->
+  ?pool:Sw_runner.Pool.t ->
   protocol:protocol ->
   stopwatch:bool ->
   size_bytes:int ->

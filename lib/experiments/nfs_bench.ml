@@ -14,7 +14,9 @@ let paper_rates = [ 25.; 50.; 100.; 200.; 400. ]
 
 let nfs_config = { Sw_vmm.Config.default with Sw_vmm.Config.delta_n = Time.ms 8 }
 
-let run ?(config = nfs_config) ?(seed = 0x4F5_1L) ~stopwatch ~rate_per_s ~ops () =
+let default_seed = 0x4F5_1L
+
+let run ?(config = nfs_config) ?(seed = default_seed) ~stopwatch ~rate_per_s ~ops () =
   let cloud = Cloud.create ~config ~seed ~machines:3 () in
   let d =
     if stopwatch then Cloud.deploy cloud ~on:[ 0; 1; 2 ] ~app:(Sw_apps.Nfs.server ())
@@ -56,3 +58,12 @@ let run ?(config = nfs_config) ?(seed = 0x4F5_1L) ~stopwatch ~rate_per_s ~ops ()
     server_to_client_per_op = per_op s2c;
     divergences = Cloud.divergences d;
   }
+
+let job ?config ?(seed = default_seed) ~stopwatch ~rate_per_s ~ops () =
+  let key =
+    Printf.sprintf "fig6/%s/rate%g/ops%d"
+      (if stopwatch then "sw" else "base")
+      rate_per_s ops
+  in
+  Sw_runner.Job.make ~seed ~key (fun ~seed ->
+      run ?config ~seed ~stopwatch ~rate_per_s ~ops ())

@@ -20,6 +20,18 @@ val run :
   unit ->
   outcome
 
+(** [job ?config ?seed ~stopwatch ~rate_per_s ~ops ()] is one Fig. 6 point
+    as a runner job (seed fixed at construction), so load sweeps can shard
+    across a {!Sw_runner.Pool}. *)
+val job :
+  ?config:Sw_vmm.Config.t ->
+  ?seed:int64 ->
+  stopwatch:bool ->
+  rate_per_s:float ->
+  ops:int ->
+  unit ->
+  outcome Sw_runner.Job.t
+
 (** The paper's offered-load sweep (ops/s). *)
 val paper_rates : float list
 

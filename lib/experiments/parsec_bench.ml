@@ -10,7 +10,9 @@ type outcome = {
 
 let parsec_config = { Sw_vmm.Config.default with Sw_vmm.Config.delta_d = Time.ms 8 }
 
-let run ?(config = parsec_config) ?(seed = 0x9A25ECL) ~stopwatch profile =
+let default_seed = 0x9A25ECL
+
+let run ?(config = parsec_config) ?(seed = default_seed) ~stopwatch profile =
   let cloud = Cloud.create ~config ~seed ~machines:3 () in
   let collector = Cloud.add_host cloud () in
   let done_at = ref nan in
@@ -43,3 +45,12 @@ let run ?(config = parsec_config) ?(seed = 0x9A25ECL) ~stopwatch profile =
     delta_d_violations = Sw_vmm.Vmm.delta_d_violations inst;
     divergences = Cloud.divergences d;
   }
+
+let job ?config ?(seed = default_seed) ~stopwatch profile =
+  let key =
+    Printf.sprintf "fig7/%s/%s"
+      (if stopwatch then "sw" else "base")
+      profile.Sw_apps.Parsec.name
+  in
+  Sw_runner.Job.make ~seed ~key (fun ~seed ->
+      run ?config ~seed ~stopwatch profile)

@@ -18,3 +18,12 @@ val run :
   stopwatch:bool ->
   Sw_apps.Parsec.profile ->
   outcome
+
+(** [job ?config ?seed ~stopwatch profile] is one Fig. 7 row as a runner
+    job (seed fixed at construction). *)
+val job :
+  ?config:Sw_vmm.Config.t ->
+  ?seed:int64 ->
+  stopwatch:bool ->
+  Sw_apps.Parsec.profile ->
+  outcome Sw_runner.Job.t

@@ -46,12 +46,16 @@ type endpoint = {
   mutable naks_sent : int;
 }
 
-let group_counter = ref 0
+(* Atomic: clouds on different domains allocate groups concurrently, and a
+   plain [ref] incr could hand two groups the same id. Ids only need to be
+   distinct, so cross-domain allocation order doesn't affect determinism. *)
+let group_counter = Atomic.make 0
 
 let group network ~members ?(nak_delay = Time.us 200) ?heartbeat () =
   if List.length members < 2 then invalid_arg "Multicast.group: need >= 2 members";
-  incr group_counter;
-  { network; group_id = !group_counter; members; nak_delay; heartbeat }
+  { network;
+    group_id = 1 + Atomic.fetch_and_add group_counter 1;
+    members; nak_delay; heartbeat }
 
 let group_id g = g.group_id
 

@@ -1,0 +1,10 @@
+type 'a t = { key : string; seed : int64; f : seed:int64 -> 'a }
+
+let make ?seed ~key f =
+  let seed = match seed with Some s -> s | None -> Seed.of_key key in
+  { key; seed; f }
+
+let key t = t.key
+let seed t = t.seed
+let run t = t.f ~seed:t.seed
+let map g t = { t with f = (fun ~seed -> g (t.f ~seed)) }

@@ -1,0 +1,28 @@
+(** A unit of work for the runner: a stable key, a seed derived from it,
+    and a closure that performs one deterministic simulation.
+
+    The key names the job in progress reports, failure records, and JSON
+    output, and is the sole input to seed derivation — so a job's result
+    is a function of its spec alone, independent of which worker domain
+    runs it or in what order. The closure must be self-contained: it may
+    not share mutable state (in particular {!Sw_sim.Prng} generators, see
+    that interface's domain-ownership note) with any other job. *)
+
+type 'a t
+
+(** [make ?seed ~key f] builds a job. [seed] defaults to
+    [Seed.of_key key]; pass it explicitly to reproduce a historical
+    seeding scheme. *)
+val make : ?seed:int64 -> key:string -> (seed:int64 -> 'a) -> 'a t
+
+val key : 'a t -> string
+val seed : 'a t -> int64
+
+(** [run t] performs one attempt, passing the job its seed. Exceptions
+    propagate to the caller (the runner turns them into structured
+    failures). *)
+val run : 'a t -> 'a
+
+(** [map f t] post-processes the job's result with [f] (applied on the
+    worker, as part of the job). *)
+val map : ('a -> 'b) -> 'a t -> 'b t

@@ -1,0 +1,108 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f then "\"nan\""
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else
+    (* Shortest representation that round-trips, so serialisation is a
+       function of the float's bits alone. *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 1024 in
+  emit buf json;
+  Buffer.contents buf
+
+let write path json =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string json);
+      output_char oc '\n')
+
+let of_summary s =
+  let module Summary = Sw_sim.Summary in
+  let bound f = if Summary.count s = 0 then Null else Float (f s) in
+  Obj
+    [
+      ("count", Int (Summary.count s));
+      ("mean", Float (Summary.mean s));
+      ("stddev", Float (Summary.stddev s));
+      ("min", bound Summary.min);
+      ("max", bound Summary.max);
+      ("total", Float (Summary.total s));
+    ]
+
+let of_failure (f : Runner.failure) =
+  let reason =
+    match f.Runner.reason with
+    | Runner.Exn msg -> String ("exn: " ^ msg)
+    | Runner.Timed_out s -> String (Printf.sprintf "timeout after %.2f s" s)
+  in
+  Obj
+    [
+      ("key", String f.Runner.key);
+      ("attempts", Int f.Runner.attempts);
+      ("reason", reason);
+    ]
+
+let bench_file ~workers ~wall_s ~timings ~experiments =
+  Obj
+    [
+      ("schema", String "stopwatch-bench/1");
+      ("workers", Int workers);
+      ("experiments", Obj experiments);
+      ( "timing",
+        Obj
+          (("total_wall_s", Float wall_s)
+          :: List.map (fun (name, s) -> (name, Float s)) timings) );
+    ]

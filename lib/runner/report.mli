@@ -1,0 +1,44 @@
+(** Minimal deterministic JSON emission for machine-readable benchmark
+    results ([BENCH_results.json]).
+
+    No external JSON dependency; the serializer is deliberately tiny and —
+    important for the runner's determinism contract — byte-stable: equal
+    values always serialise to equal strings, so parallel and sequential
+    sweeps can be compared with [String.equal]. Non-finite floats (which
+    JSON cannot carry) serialise as the strings ["nan"] / ["inf"] /
+    ["-inf"]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) serialisation. *)
+val to_string : t -> string
+
+(** [write path json] writes [to_string json] plus a trailing newline. *)
+val write : string -> t -> unit
+
+(** Summary statistics as an object:
+    [{"count", "mean", "stddev", "min", "max", "total"}] (min/max [Null]
+    when empty). *)
+val of_summary : Sw_sim.Summary.t -> t
+
+(** A structured failure as an object: [{"key", "attempts", "reason"}]. *)
+val of_failure : Runner.failure -> t
+
+(** [bench_file ~workers ~wall_s ~timings ~experiments] assembles the
+    [BENCH_results.json] document. Everything under ["experiments"] is
+    deterministic (same bytes for any worker count); worker count and
+    wall-clock readings live under ["workers"] / ["timing"] so consumers —
+    and the determinism test — can split the two. *)
+val bench_file :
+  workers:int ->
+  wall_s:float ->
+  timings:(string * float) list ->
+  experiments:(string * t) list ->
+  t

@@ -1,0 +1,20 @@
+let default_base = 0x57_0D_Ca7cL (* "StopWatch" *)
+
+(* SplitMix64 finaliser, the same mixer Sw_sim.Prng uses. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let fnv64 s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let of_key ?(base = default_base) key = mix64 (Int64.logxor base (fnv64 key))
+let nth seed i = mix64 (Int64.add seed (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L))

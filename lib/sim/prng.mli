@@ -2,7 +2,18 @@
 
     Every stochastic component of a simulation draws from its own generator
     obtained via {!split}, so simulations are reproducible bit-for-bit from a
-    single seed regardless of event interleaving. *)
+    single seed regardless of event interleaving.
+
+    {b Domain ownership.} Generators are mutable and carry no lock: a [t]
+    must be owned by exactly one domain at a time. Sharing one generator
+    between domains is a data race and, worse, makes draw order depend on
+    scheduling, destroying reproducibility even when the race happens to be
+    benign. The supported pattern — the one [Sw_runner] enforces — is to
+    derive each parallel job's generator {e before} dispatch (via {!split},
+    or {!create} on a seed computed from the job's key alone) and move it to
+    the worker domain wholesale. Sibling generators obtained by [split]
+    share no state, so concurrent draws from them are race-free and yield
+    the same sequences as sequential draws. *)
 
 type t
 

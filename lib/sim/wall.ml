@@ -1,0 +1,7 @@
+let now_s = Unix.gettimeofday
+let elapsed_s t0 = Float.max 0. (now_s () -. t0)
+
+let time f =
+  let t0 = now_s () in
+  let v = f () in
+  (v, elapsed_s t0)

@@ -1,0 +1,23 @@
+(** Wall-clock measurement for benchmarks and the runner.
+
+    [Sys.time] returns process CPU time, which double-counts when work is
+    spread across OCaml 5 domains (N busy domains advance it at N seconds
+    per second) and undercounts time spent blocked. Everything that reports
+    elapsed real time must use this module instead.
+
+    The clock is [Unix.gettimeofday]-based: real time, not strictly
+    monotonic under NTP steps. That is the best the preinstalled set offers
+    (no [Mtime]); spans measured here are for reporting, never for
+    simulation semantics — simulated time lives in {!Time}. *)
+
+(** Current wall-clock time in seconds since the epoch. *)
+val now_s : unit -> float
+
+(** [elapsed_s t0] is the wall-clock seconds since [t0 = now_s ()],
+    clamped to be non-negative so NTP step-backs never yield a negative
+    span. *)
+val elapsed_s : float -> float
+
+(** [time f] runs [f ()] and returns its result with the wall-clock
+    seconds it took. *)
+val time : (unit -> 'a) -> 'a * float
