@@ -1,26 +1,32 @@
 (* `main.exe quick`: a down-scaled subset of the headline experiments run
    through the runner, fast enough to sit alongside `dune runtest` (the
    @bench-quick alias), writing the same BENCH_results.json so CI gets a
-   perf/regression data point from every build. *)
+   perf/regression data point from every build.
+
+   Every job carries [(latency_ms, metrics snapshot)]; the snapshots merge
+   into the run's top-level "metrics" object, so quick mode also exercises
+   the observability export end to end. *)
 
 open Sw_experiments
 module Ft = File_transfer
 module Runner = Sw_runner.Runner
 module Report = Sw_runner.Report
+module Snapshot = Sw_obs.Snapshot
 
 let ft_group ~protocol ~stopwatch =
   ( Printf.sprintf "download/%s/%s"
       (match protocol with Ft.Http -> "http" | Ft.Udp -> "udp")
       (if stopwatch then "sw" else "base"),
     List.map
-      (Sw_runner.Job.map (fun (ms, _div) -> ms))
+      (Sw_runner.Job.map (fun (ms, _div, metrics) -> (ms, metrics)))
       (Ft.jobs ~protocol ~stopwatch ~size_bytes:102_400 ~runs:2 ()) )
 
 let nfs_group ~stopwatch =
   ( Printf.sprintf "nfs/%s" (if stopwatch then "sw" else "base"),
     [
       Sw_runner.Job.map
-        (fun (o : Nfs_bench.outcome) -> o.Nfs_bench.mean_latency_ms)
+        (fun (o : Nfs_bench.outcome) ->
+          (o.Nfs_bench.mean_latency_ms, o.Nfs_bench.metrics))
         (Nfs_bench.job ~stopwatch ~rate_per_s:100. ~ops:150 ());
     ] )
 
@@ -28,7 +34,8 @@ let parsec_group ~stopwatch =
   ( Printf.sprintf "parsec-ferret/%s" (if stopwatch then "sw" else "base"),
     [
       Sw_runner.Job.map
-        (fun (o : Parsec_bench.outcome) -> o.Parsec_bench.runtime_ms)
+        (fun (o : Parsec_bench.outcome) ->
+          (o.Parsec_bench.runtime_ms, o.Parsec_bench.metrics))
         (Parsec_bench.job ~stopwatch Sw_apps.Parsec.ferret);
     ] )
 
@@ -64,13 +71,16 @@ let run ?pool () =
             (List.map
                (fun o ->
                  Result.map
-                   (fun ms ->
+                   (fun (ms, _metrics) ->
                      let s = Sw_sim.Summary.create () in
                      Sw_sim.Summary.add s ms;
                      s)
                    o)
                outcomes)
         in
+        Bench_report.add_metrics
+          (Snapshot.merge_all
+             (List.map snd (Runner.successes outcomes)));
         let failures = Runner.failures outcomes in
         Tables.row ~width:24
           [

@@ -1,23 +1,39 @@
 (* Fig. 2: the packet-delivery protocol, reproduced as an execution trace of
    one inbound packet: arrival at each VMM, the three proposals, the median
-   selection, and the delivery to the guest replicas. *)
+   selection, and the delivery to the guest replicas.
+
+   This figure doubles as the demo of the typed trace: the VMMs emit
+   structured [Sw_obs.Event.t] values, and the consumer pattern-matches to
+   keep only the protocol steps — no string parsing. *)
 
 module Time = Sw_sim.Time
 module Cloud = Stopwatch.Cloud
+module Trace = Sw_obs.Trace
+module Event = Sw_obs.Event
 
 let run () =
   Sw_experiments.Tables.section
     "Fig. 2 — delivering one packet to guest VM replicas (protocol trace)";
   let cloud = Cloud.create ~machines:3 () in
   let d = Cloud.deploy cloud ~on:[ 0; 1; 2 ] ~app:(Sw_apps.Probe.receiver ()) in
-  let trace = Sw_sim.Trace.create () in
-  Sw_sim.Trace.enable trace;
+  let trace = Trace.create () in
+  Trace.enable trace;
   List.iter (fun inst -> Sw_vmm.Vmm.set_trace inst trace) (Cloud.replicas d);
   let client = Cloud.add_host cloud () in
   Stopwatch.Host.after client (Time.ms 100) (fun () ->
       Stopwatch.Host.send client ~dst:(Cloud.vm_address d) ~size:100
         (Sw_apps.Probe.Probe_ping 1));
-  Cloud.run cloud ~until:(Time.ms 400);
-  List.iter
-    (fun e -> Format.printf "%a@." Sw_sim.Trace.pp_entry e)
-    (Sw_sim.Trace.entries trace)
+  let now () = Sw_sim.Engine.now (Cloud.engine cloud) in
+  Trace.span trace ~now ~name:"fig2.simulation" (fun () ->
+      Cloud.run cloud ~until:(Time.ms 400));
+  (* Keep the protocol steps (proposals, median adoption, delivery) and the
+     surrounding span; drop device interrupts and free-form messages. *)
+  Trace.iter trace (fun entry ->
+      match entry.Trace.event with
+      | Event.Packet_proposed _ | Event.Median_adopted _
+      | Event.Packet_delivered _ | Event.Divergence _ | Event.Span_begin _
+      | Event.Span_end _ ->
+          Format.printf "%a@." Trace.pp_entry entry
+      | Event.Vm_exit _ | Event.Disk_irq _ | Event.Dma_irq _ | Event.Message _
+        ->
+          ())

@@ -58,6 +58,11 @@ let run ?pool () =
     | [ a; b; c; d ] -> (a, b, c, d)
     | _ -> assert false
   in
+  (* One merged snapshot over the four scenario clouds; merge is exact, so
+     the bytes in BENCH_results.json are worker-count independent. *)
+  Bench_report.add_metrics
+    (Sw_obs.Snapshot.merge_all
+       (List.map (fun r -> r.Scenario.metrics) results));
   cdf_table sw_no.Scenario.attacker_inter_delivery_ms
     sw_yes.Scenario.attacker_inter_delivery_ms;
   Tables.subsection "Fig. 4(b): observations needed to detect the victim (chi-square)";

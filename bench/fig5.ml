@@ -88,6 +88,9 @@ let run ?pool () =
       Ft.paper_sizes
   in
   let http = rows_for Ft.Http and udp = rows_for Ft.Udp in
+  Bench_report.add_metrics
+    (Sw_obs.Snapshot.merge_all
+       (List.map (fun (_, (o : Ft.outcome)) -> o.Ft.metrics) collected));
   print_rows "HTTP (TCP; each average of 3 runs)" http;
   print_rows "UDP with NAK-based reliability" udp;
   let failures =

@@ -39,6 +39,12 @@ let run ?pool () =
         | _ -> assert false)
       (Runner.map_groups ?pool ?on_event groups)
   in
+  Bench_report.add_metrics
+    (Sw_obs.Snapshot.merge_all
+       (List.concat_map
+          (fun (_, (b : Nb.outcome), (s : Nb.outcome)) ->
+            [ b.Nb.metrics; s.Nb.metrics ])
+          rows));
   Tables.subsection "Fig. 6(a): average latency per operation (ms)";
   Tables.header ~width:12 [ "ops/s"; "baseline"; "stopwatch"; "ratio"; "done(sw)" ];
   List.iter

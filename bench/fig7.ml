@@ -42,6 +42,12 @@ let run ?pool () =
         | _ -> assert false)
       (Runner.map_groups ?pool ?on_event groups)
   in
+  Bench_report.add_metrics
+    (Sw_obs.Snapshot.merge_all
+       (List.concat_map
+          (fun (_, (b : Pb.outcome), (s : Pb.outcome)) ->
+            [ b.Pb.metrics; s.Pb.metrics ])
+          rows));
   Tables.header ~width:13
     [ "app"; "base ms"; "sw ms"; "ratio"; "ints"; "paper b"; "paper sw"; "viol" ];
   List.iter

@@ -38,6 +38,7 @@ type result = {
   deliveries : int;
   divergences : int;
   median_share : float array;
+  metrics : Sw_obs.Snapshot.t;
 }
 
 (* Machine layout (StopWatch mode, m replicas):
@@ -102,10 +103,17 @@ let run spec =
     | Some i -> i
     | None -> List.hd (Cloud.replicas attacker)
   in
+  let metrics = Cloud.metrics_snapshot cloud in
+  let prefix = Sw_vmm.Vmm.metric_prefix instance in
   let median_share =
     if spec.baseline then [||]
     else begin
-      let counts = Sw_vmm.Vmm.median_source_counts instance in
+      (* Fractional median credits live as [Sum] metrics, one per proposer. *)
+      let counts =
+        Array.init m (fun k ->
+            Sw_obs.Snapshot.sum metrics
+              (Printf.sprintf "%s.median.source.r%d" prefix k))
+      in
       let total = Array.fold_left ( +. ) 0. counts in
       if total = 0. then counts else Array.map (fun c -> c /. total) counts
     end
@@ -113,7 +121,10 @@ let run spec =
   {
     attacker_inter_delivery_ms = Sw_vmm.Vmm.inter_delivery_virts_ms instance;
     observer_inter_arrival_ms = Host.inter_arrival_ms observer;
-    deliveries = Sw_vmm.Vmm.net_deliveries instance;
-    divergences = Cloud.divergences attacker;
+    deliveries = Sw_obs.Snapshot.counter metrics (prefix ^ ".net_deliveries");
+    divergences =
+      Sw_obs.Snapshot.counter metrics
+        (Printf.sprintf "vm%d.divergences" (Cloud.vm_id attacker));
     median_share;
+    metrics;
   }

@@ -40,6 +40,9 @@ type result = {
       (** Fraction of deliveries whose median adopted each replica's
           proposal; replica 0 is the colluder-loaded machine, replica m-1
           the victim-shared one. Empty in baseline mode. *)
+  metrics : Sw_obs.Snapshot.t;
+      (** Full metrics snapshot of the scenario's cloud, for export and for
+          reading further counters. *)
 }
 
 val run : spec -> result

@@ -29,7 +29,8 @@ let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
   if rate_spread < 0. || rate_spread >= 1. then
     invalid_arg "Cloud.create: rate_spread must be in [0, 1)";
   Sw_vmm.Config.validate config;
-  let engine = Engine.create ~seed () in
+  let metrics = Sw_obs.Registry.create () in
+  let engine = Engine.create ~seed ~metrics () in
   let hw_rng = Engine.rng engine in
   let network = Sw_net.Network.create engine ~default:default_link in
   let machine_arr =
@@ -65,6 +66,8 @@ let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
 
 let engine t = t.engine
 let network t = t.network
+let metrics t = Engine.metrics t.engine
+let metrics_snapshot t = Sw_obs.Registry.snapshot (Engine.metrics t.engine)
 let config t = t.config
 
 let machine t i =
@@ -93,7 +96,8 @@ let deploy ?config t ~on ~app =
   List.iter (fun m -> ignore (machine t m)) on;
   let vm = fresh_vm_id t in
   let group =
-    Sw_vmm.Replica_group.create ~vm ~config ~mode:Sw_vmm.Replica_group.Stopwatch
+    Sw_vmm.Replica_group.create ~metrics:(Engine.metrics t.engine) ~vm ~config
+      ~mode:Sw_vmm.Replica_group.Stopwatch ()
   in
   (* The VM's PGM-style channel: the ingress replicates inbound packets over
      it, the VMMs exchange proposals and epoch reports on it. *)
@@ -134,7 +138,8 @@ let deploy_baseline ?config t ~on ~app =
   ignore (machine t on);
   let vm = fresh_vm_id t in
   let group =
-    Sw_vmm.Replica_group.create ~vm ~config ~mode:Sw_vmm.Replica_group.Baseline
+    Sw_vmm.Replica_group.create ~metrics:(Engine.metrics t.engine) ~vm ~config
+      ~mode:Sw_vmm.Replica_group.Baseline ()
   in
   let instance = Sw_vmm.Vmm.host t.vmms.(on) ~group ~app ~peers:[] in
   (* Baseline traffic routes straight to the hosting machine. *)

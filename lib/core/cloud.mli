@@ -37,6 +37,14 @@ val skew_blocks : deployment -> int
 
 val engine : t -> Sw_sim.Engine.t
 val network : t -> Sw_net.Network.t
+
+(** The simulation-wide metrics registry (owned by the engine); every
+    component of this cloud records into it. *)
+val metrics : t -> Sw_obs.Registry.t
+
+(** Deterministic snapshot of every metric in the cloud — the value the
+    runner merges across jobs and the benches export. *)
+val metrics_snapshot : t -> Sw_obs.Snapshot.t
 val config : t -> Sw_vmm.Config.t
 val machine : t -> int -> Sw_vmm.Machine.t
 val machine_count : t -> int

@@ -5,19 +5,24 @@ type t = {
   network : Sw_net.Network.t;
   address : Sw_net.Address.t;
   mutable handler : Sw_net.Packet.t -> unit;
-  mutable received : int;
+  m_received : Sw_obs.Registry.Counter.t;
   mutable last_arrival : Time.t option;
   inter_arrival : Sw_sim.Samples.t;
+      (** Raw samples (not a metric): the attack distinguishers need the
+          full empirical distribution, not bucketised counts. *)
 }
 
 let create network ~id ?(link = Sw_net.Network.wan) () =
   let address = Sw_net.Address.Host id in
+  let metrics = Engine.metrics (Sw_net.Network.engine network) in
   let t =
     {
       network;
       address;
       handler = (fun _ -> ());
-      received = 0;
+      m_received =
+        Sw_obs.Registry.counter metrics
+          (Printf.sprintf "host.%s.received" (Sw_net.Address.to_string address));
       last_arrival = None;
       inter_arrival = Sw_sim.Samples.create ();
     }
@@ -25,7 +30,7 @@ let create network ~id ?(link = Sw_net.Network.wan) () =
   Sw_net.Network.set_node_link network address link;
   Sw_net.Network.register network address (fun pkt ->
       let now = Engine.now (Sw_net.Network.engine network) in
-      t.received <- t.received + 1;
+      Sw_obs.Registry.Counter.incr t.m_received;
       (match t.last_arrival with
       | Some prev -> Sw_sim.Samples.add t.inter_arrival (Time.to_float_ms (Time.sub now prev))
       | None -> ());
@@ -48,5 +53,5 @@ let send t ~dst ~size payload =
   Sw_net.Network.send t.network pkt
 
 let after t span f = ignore (Engine.schedule_after (engine t) span f)
-let received t = t.received
+let received t = Sw_obs.Registry.Counter.value t.m_received
 let inter_arrival_ms t = Sw_sim.Samples.to_array t.inter_arrival

@@ -1,5 +1,6 @@
 module Time = Sw_sim.Time
 module Engine = Sw_sim.Engine
+module Registry = Sw_obs.Registry
 
 type params = {
   max_seek : Time.t;
@@ -29,25 +30,39 @@ type kind = Read | Write
 type t = {
   engine : Engine.t;
   params : params;
+  path : string;
   rng : Sw_sim.Prng.t;
   mutable free_at : Time.t;  (** When the head becomes available. *)
-  mutable completed : int;
-  per_vm : (int, int) Hashtbl.t;
-  mutable busy_time : Time.t;
-  mutable max_service : Time.t;
+  m_completed : Registry.Counter.t;
+  per_vm : (int, Registry.Counter.t) Hashtbl.t;
+  m_busy_ns : Registry.Counter.t;
+  m_service : Registry.Histogram.t;
 }
 
-let create engine ?(params = default_params) () =
+let create engine ?(params = default_params) ?(path = "disk") () =
+  let metrics = Engine.metrics engine in
   {
     engine;
     params;
+    path;
     rng = Engine.rng engine;
     free_at = Time.zero;
-    completed = 0;
+    m_completed = Registry.counter metrics (path ^ ".completed");
     per_vm = Hashtbl.create 8;
-    busy_time = Time.zero;
-    max_service = Time.zero;
+    m_busy_ns = Registry.counter metrics (path ^ ".busy_ns");
+    m_service = Registry.histogram metrics (path ^ ".service_ns");
   }
+
+let vm_counter t vm =
+  match Hashtbl.find_opt t.per_vm vm with
+  | Some c -> c
+  | None ->
+      let c =
+        Registry.counter (Engine.metrics t.engine)
+          (Printf.sprintf "%s.vm%d.completed" t.path vm)
+      in
+      Hashtbl.add t.per_vm vm c;
+      c
 
 let draw_upto rng limit =
   if Time.equal limit Time.zero then Time.zero
@@ -76,20 +91,25 @@ let submit t ~vm ~kind:_ ~bytes ~sequential k =
   let start = Time.max now t.free_at in
   let finish = Time.add start service in
   t.free_at <- finish;
-  t.busy_time <- Time.add t.busy_time service;
-  if Time.(service > t.max_service) then t.max_service <- service;
+  (* [Time.t] is int64 nanoseconds; simulated durations fit OCaml's int. *)
+  Registry.Counter.add t.m_busy_ns (Int64.to_int service);
+  Registry.Histogram.observe t.m_service service;
+  let vm_completed = vm_counter t vm in
   ignore
-    (Engine.schedule_at t.engine finish (fun () ->
-         t.completed <- t.completed + 1;
-         (match Hashtbl.find_opt t.per_vm vm with
-         | Some n -> Hashtbl.replace t.per_vm vm (n + 1)
-         | None -> Hashtbl.add t.per_vm vm 1);
+    (Engine.schedule_at ~kind:"disk.complete" t.engine finish (fun () ->
+         Registry.Counter.incr t.m_completed;
+         Registry.Counter.incr vm_completed;
          k ()))
 
-let completed t = t.completed
+let completed t = Registry.Counter.value t.m_completed
 
 let completed_for t ~vm =
-  match Hashtbl.find_opt t.per_vm vm with Some n -> n | None -> 0
+  match Hashtbl.find_opt t.per_vm vm with
+  | Some c -> Registry.Counter.value c
+  | None -> 0
 
-let busy_time t = t.busy_time
-let max_service_time t = t.max_service
+let busy_time t = Time.ns (Registry.Counter.value t.m_busy_ns)
+
+let max_service_time t =
+  let m = Registry.Histogram.max t.m_service in
+  if Int64.equal m Int64.min_int then Time.zero else m

@@ -10,6 +10,7 @@ type outcome = {
   runs : float list;
   divergences : int;
   failed_runs : Runner.failure list;
+  metrics : Sw_obs.Snapshot.t;
 }
 
 let paper_sizes = [ 1_024; 10_240; 102_400; 1_048_576; 10_485_760 ]
@@ -50,7 +51,7 @@ let one ?config ~seed ~protocol ~stopwatch ~size_bytes () =
     end
   in
   advance 0;
-  (!result, Cloud.divergences d)
+  (!result, Cloud.divergences d, Cloud.metrics_snapshot cloud)
 
 let jobs ?config ?(seed = 0xF16_5L) ~protocol ~stopwatch ~size_bytes ~runs () =
   if runs < 1 then invalid_arg "File_transfer.jobs: need >= 1 run";
@@ -70,16 +71,24 @@ let collect outcomes =
   let results = Runner.successes outcomes in
   let failed_runs = Runner.failures outcomes in
   if results = [] then
-    { elapsed_ms = nan; runs = []; divergences = 0; failed_runs }
+    {
+      elapsed_ms = nan;
+      runs = [];
+      divergences = 0;
+      failed_runs;
+      metrics = Sw_obs.Snapshot.empty;
+    }
   else
-    let times = List.map fst results in
-    let divergences = List.fold_left (fun acc (_, d) -> acc + d) 0 results in
+    let times = List.map (fun (t, _, _) -> t) results in
+    let divergences = List.fold_left (fun acc (_, d, _) -> acc + d) 0 results in
     {
       elapsed_ms =
         List.fold_left ( +. ) 0. times /. float_of_int (List.length times);
       runs = times;
       divergences;
       failed_runs;
+      metrics =
+        Sw_obs.Snapshot.merge_all (List.map (fun (_, _, m) -> m) results);
     }
 
 let run ?config ?seed ?pool ~protocol ~stopwatch ~size_bytes ~runs () =

@@ -11,11 +11,14 @@ type outcome = {
   failed_runs : Sw_runner.Runner.failure list;
       (** Runs abandoned by the runner (crash or timeout); excluded from
           [elapsed_ms] and [runs] instead of aborting the sweep. *)
+  metrics : Sw_obs.Snapshot.t;
+      (** Merged metrics snapshot over the successful runs' clouds. *)
 }
 
 (** [jobs ?config ?seed ~protocol ~stopwatch ~size_bytes ~runs ()] is the
     replicated measurement as independent runner jobs, one per run, each
-    returning [(elapsed_ms, divergences)]. Each job's cloud seed is fixed
+    returning [(elapsed_ms, divergences, metrics snapshot)]. Each job's
+    cloud seed is fixed
     at construction (derived from [seed] and the run index), so outcomes
     are independent of worker count and dispatch order. *)
 val jobs :
@@ -26,10 +29,11 @@ val jobs :
   size_bytes:int ->
   runs:int ->
   unit ->
-  (float * int) Sw_runner.Job.t list
+  (float * int * Sw_obs.Snapshot.t) Sw_runner.Job.t list
 
 (** [collect outcomes] aggregates one replicated measurement. *)
-val collect : (float * int) Sw_runner.Runner.outcome list -> outcome
+val collect :
+  (float * int * Sw_obs.Snapshot.t) Sw_runner.Runner.outcome list -> outcome
 
 (** [run ?config ?seed ?pool ~protocol ~stopwatch ~size_bytes ~runs ()]
     performs [runs] fresh-cloud downloads — in parallel when [pool] is

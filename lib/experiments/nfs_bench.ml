@@ -8,6 +8,7 @@ type outcome = {
   client_to_server_per_op : float;
   server_to_client_per_op : float;
   divergences : int;
+  metrics : Sw_obs.Snapshot.t;
 }
 
 let paper_rates = [ 25.; 50.; 100.; 200.; 400. ]
@@ -31,19 +32,23 @@ let run ?(config = nfs_config) ?(seed = default_seed) ~stopwatch ~rate_per_s ~op
   let horizon = Time.of_float_s ((float_of_int ops /. rate_per_s) +. 5.) in
   Cloud.run cloud ~until:horizon;
   let stats = get () in
-  let net = Cloud.network cloud in
+  let metrics = Cloud.metrics_snapshot cloud in
   let per_op count =
     if stats.Sw_apps.Nfs.completed = 0 then 0.
     else float_of_int count /. float_of_int stats.Sw_apps.Nfs.completed
   in
+  (* Per-pair packet counts (Fig. 6(b)) come off the snapshot, the same
+     value the runner later merges into the bench report. *)
   let c2s =
-    Sw_net.Network.count net
-      ~src:(Stopwatch.Host.address client)
-      ~dst:(Cloud.vm_address d)
+    Sw_obs.Snapshot.counter metrics
+      (Sw_net.Network.pair_metric
+         ~src:(Stopwatch.Host.address client)
+         ~dst:(Cloud.vm_address d))
   in
   let s2c =
-    Sw_net.Network.count net ~src:(Cloud.vm_address d)
-      ~dst:(Stopwatch.Host.address client)
+    Sw_obs.Snapshot.counter metrics
+      (Sw_net.Network.pair_metric ~src:(Cloud.vm_address d)
+         ~dst:(Stopwatch.Host.address client))
   in
   let l = stats.Sw_apps.Nfs.latencies_ms in
   let mean_latency_ms =
@@ -56,7 +61,10 @@ let run ?(config = nfs_config) ?(seed = default_seed) ~stopwatch ~rate_per_s ~op
     issued = stats.Sw_apps.Nfs.issued;
     client_to_server_per_op = per_op c2s;
     server_to_client_per_op = per_op s2c;
-    divergences = Cloud.divergences d;
+    divergences =
+      Sw_obs.Snapshot.counter metrics
+        (Printf.sprintf "vm%d.divergences" (Cloud.vm_id d));
+    metrics;
   }
 
 let job ?config ?(seed = default_seed) ~stopwatch ~rate_per_s ~ops () =

@@ -9,6 +9,7 @@ type outcome = {
   client_to_server_per_op : float;  (** TCP packets, Fig. 6(b). *)
   server_to_client_per_op : float;
   divergences : int;
+  metrics : Sw_obs.Snapshot.t;  (** Full cloud metrics snapshot. *)
 }
 
 val run :

@@ -6,6 +6,7 @@ type outcome = {
   disk_interrupts : int;
   delta_d_violations : int;
   divergences : int;
+  metrics : Sw_obs.Snapshot.t;
 }
 
 let parsec_config = { Sw_vmm.Config.default with Sw_vmm.Config.delta_d = Time.ms 8 }
@@ -39,11 +40,18 @@ let run ?(config = parsec_config) ?(seed = default_seed) ~stopwatch profile =
   in
   advance 0;
   let inst = List.hd (Cloud.replicas d) in
+  let metrics = Cloud.metrics_snapshot cloud in
+  let prefix = Sw_vmm.Vmm.metric_prefix inst in
   {
     runtime_ms = !done_at;
-    disk_interrupts = Sw_vmm.Vmm.disk_interrupts inst;
-    delta_d_violations = Sw_vmm.Vmm.delta_d_violations inst;
-    divergences = Cloud.divergences d;
+    disk_interrupts =
+      Sw_obs.Snapshot.counter metrics (prefix ^ ".disk_interrupts");
+    delta_d_violations =
+      Sw_obs.Snapshot.counter metrics (prefix ^ ".delta_d_violations");
+    divergences =
+      Sw_obs.Snapshot.counter metrics
+        (Printf.sprintf "vm%d.divergences" (Cloud.vm_id d));
+    metrics;
   }
 
 let job ?config ?(seed = default_seed) ~stopwatch profile =

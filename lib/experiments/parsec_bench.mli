@@ -5,6 +5,7 @@ type outcome = {
   disk_interrupts : int;
   delta_d_violations : int;
   divergences : int;
+  metrics : Sw_obs.Snapshot.t;  (** Full cloud metrics snapshot. *)
 }
 
 (** Config used by Fig. 7: delta_d at the low end of the paper's 8-15 ms

@@ -1,20 +1,22 @@
-let row ~width cells =
-  print_string
-    (String.concat "  " (List.map (fun c -> Printf.sprintf "%*s" width c) cells));
-  print_newline ()
+let row ?(fmt = Format.std_formatter) ~width cells =
+  Format.fprintf fmt "%s@."
+    (String.concat "  "
+       (List.map (fun c -> Printf.sprintf "%*s" width c) cells))
 
-let header ~width cells =
-  row ~width cells;
-  let dashes = List.map (fun c -> String.make (Stdlib.min width (String.length c + 2)) '-') cells in
-  row ~width dashes
+let header ?(fmt = Format.std_formatter) ~width cells =
+  row ~fmt ~width cells;
+  let dashes =
+    List.map
+      (fun c -> String.make (Stdlib.min width (String.length c + 2)) '-')
+      cells
+  in
+  row ~fmt ~width dashes
 
-let section title =
-  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
-  flush stdout
+let section ?(fmt = Format.std_formatter) title =
+  Format.fprintf fmt "@\n%s@\n%s@." title (String.make (String.length title) '=')
 
-let subsection title =
-  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-');
-  flush stdout
+let subsection ?(fmt = Format.std_formatter) title =
+  Format.fprintf fmt "@\n%s@\n%s@." title (String.make (String.length title) '-')
 
 let f2 x = Printf.sprintf "%.2f" x
 let f1 x = Printf.sprintf "%.1f" x

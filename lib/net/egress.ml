@@ -8,9 +8,9 @@ type vm_entry = {
 type t = {
   network : Network.t;
   vms : (int, vm_entry) Hashtbl.t;
-  mutable forwarded : int;
-  mutable dropped : int;
-  mutable mismatches : int;
+  m_forwarded : Sw_obs.Registry.Counter.t;
+  m_dropped : Sw_obs.Registry.Counter.t;
+  m_mismatches : Sw_obs.Registry.Counter.t;
   mutable tap : (vm:int -> Packet.t -> Sw_sim.Time.t -> unit) option;
 }
 
@@ -18,7 +18,7 @@ let handle t (pkt : Packet.t) =
   match pkt.Packet.payload with
   | Packet.Egress_tunnel { vm; inner; _ } -> (
       match Hashtbl.find_opt t.vms vm with
-      | None -> t.dropped <- t.dropped + 1
+      | None -> Sw_obs.Registry.Counter.incr t.m_dropped
       | Some entry ->
           let key = inner.Packet.seq in
           let digest = Hashtbl.hash (inner.Packet.dst, inner.Packet.size, inner.Packet.payload) in
@@ -29,28 +29,29 @@ let handle t (pkt : Packet.t) =
           in
           (* Output vote: replicas are deterministic, so all copies of one
              sequence number must be structurally identical. *)
-          if digest <> first_digest then t.mismatches <- t.mismatches + 1;
+          if digest <> first_digest then Sw_obs.Registry.Counter.incr t.m_mismatches;
           let seen = seen + 1 in
           let release_rank = (entry.replicas + 1) / 2 in
           if seen >= entry.replicas then Hashtbl.remove entry.pending key
           else Hashtbl.replace entry.pending key (seen, first_digest);
           if seen = release_rank then begin
-            t.forwarded <- t.forwarded + 1;
+            Sw_obs.Registry.Counter.incr t.m_forwarded;
             (match t.tap with
             | Some f -> f ~vm inner (Sw_sim.Engine.now (Network.engine t.network))
             | None -> ());
             Network.send t.network inner
           end)
-  | _ -> t.dropped <- t.dropped + 1
+  | _ -> Sw_obs.Registry.Counter.incr t.m_dropped
 
 let create network =
+  let metrics = Sw_sim.Engine.metrics (Network.engine network) in
   let t =
     {
       network;
       vms = Hashtbl.create 16;
-      forwarded = 0;
-      dropped = 0;
-      mismatches = 0;
+      m_forwarded = Sw_obs.Registry.counter metrics "net.egress.forwarded";
+      m_dropped = Sw_obs.Registry.counter metrics "net.egress.dropped";
+      m_mismatches = Sw_obs.Registry.counter metrics "net.egress.mismatches";
       tap = None;
     }
   in
@@ -63,7 +64,7 @@ let register_vm t ~vm ~replicas =
   Hashtbl.replace t.vms vm { replicas; pending = Hashtbl.create 64 }
 
 let unregister_vm t ~vm = Hashtbl.remove t.vms vm
-let forwarded t = t.forwarded
-let dropped t = t.dropped
-let mismatches t = t.mismatches
+let forwarded t = Sw_obs.Registry.Counter.value t.m_forwarded
+let dropped t = Sw_obs.Registry.Counter.value t.m_dropped
+let mismatches t = Sw_obs.Registry.Counter.value t.m_mismatches
 let on_forward t f = t.tap <- Some f

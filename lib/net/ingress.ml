@@ -8,8 +8,8 @@ type t = {
   network : Network.t;
   vms : (int, vm_entry) Hashtbl.t;
   mcast_routes : (int, Multicast.endpoint) Hashtbl.t;
-  mutable dropped : int;
-  mutable replicated : int;
+  m_dropped : Sw_obs.Registry.Counter.t;
+  m_replicated : Sw_obs.Registry.Counter.t;
 }
 
 let handle t (pkt : Packet.t) =
@@ -20,18 +20,18 @@ let handle t (pkt : Packet.t) =
     | Some gid -> (
         match Hashtbl.find_opt t.mcast_routes gid with
         | Some ep -> Multicast.handle ep pkt
-        | None -> t.dropped <- t.dropped + 1)
-    | None -> t.dropped <- t.dropped + 1
+        | None -> Sw_obs.Registry.Counter.incr t.m_dropped)
+    | None -> Sw_obs.Registry.Counter.incr t.m_dropped
   end
   else
     match pkt.Packet.dst with
     | Address.Vm vm -> (
         match Hashtbl.find_opt t.vms vm with
-        | None -> t.dropped <- t.dropped + 1
+        | None -> Sw_obs.Registry.Counter.incr t.m_dropped
         | Some entry -> (
             let ingress_seq = entry.next_ingress_seq in
             entry.next_ingress_seq <- ingress_seq + 1;
-            t.replicated <- t.replicated + 1;
+            Sw_obs.Registry.Counter.incr t.m_replicated;
             let payload = Packet.Guest_bound { vm; ingress_seq; inner = pkt } in
             match entry.channel with
             | Some ep -> Multicast.publish ep ~size:pkt.Packet.size payload
@@ -46,16 +46,17 @@ let handle t (pkt : Packet.t) =
                     in
                     Network.send t.network copy)
                   entry.replica_vmms))
-    | _ -> t.dropped <- t.dropped + 1
+    | _ -> Sw_obs.Registry.Counter.incr t.m_dropped
 
 let create network =
+  let metrics = Sw_sim.Engine.metrics (Network.engine network) in
   let t =
     {
       network;
       vms = Hashtbl.create 16;
       mcast_routes = Hashtbl.create 16;
-      dropped = 0;
-      replicated = 0;
+      m_dropped = Sw_obs.Registry.counter metrics "net.ingress.dropped";
+      m_replicated = Sw_obs.Registry.counter metrics "net.ingress.replicated";
     }
   in
   Network.register network Address.Ingress (handle t);
@@ -81,5 +82,5 @@ let unregister_vm t ~vm =
   Hashtbl.remove t.vms vm;
   Network.clear_route t.network ~dst:(Address.Vm vm)
 
-let dropped t = t.dropped
-let replicated t = t.replicated
+let dropped t = Sw_obs.Registry.Counter.value t.m_dropped
+let replicated t = Sw_obs.Registry.Counter.value t.m_replicated

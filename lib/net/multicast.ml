@@ -42,8 +42,11 @@ type endpoint = {
   history : (int, Packet.t) Hashtbl.t;
   mutable next_mseq : int;
   rx_states : (Address.t, rx) Hashtbl.t;
-  mutable retransmissions : int;
-  mutable naks_sent : int;
+  (* Metric paths key on the member's address, not the group id: group ids
+     come from a cross-domain atomic counter, so using them would make
+     snapshot contents depend on worker scheduling. *)
+  m_retransmissions : Sw_obs.Registry.Counter.t;
+  m_naks : Sw_obs.Registry.Counter.t;
 }
 
 (* Atomic: clouds on different domains allocate groups concurrently, and a
@@ -88,6 +91,8 @@ let endpoint g ~self ?transmit ~deliver () =
   let transmit =
     match transmit with Some f -> f | None -> Network.send g.network
   in
+  let metrics = Engine.metrics (Network.engine g.network) in
+  let addr = Address.to_string self in
   let e =
     {
       g;
@@ -97,8 +102,12 @@ let endpoint g ~self ?transmit ~deliver () =
       history = Hashtbl.create 64;
       next_mseq = 0;
       rx_states = Hashtbl.create 8;
-      retransmissions = 0;
-      naks_sent = 0;
+      m_retransmissions =
+        Sw_obs.Registry.counter metrics
+          (Printf.sprintf "net.mcast.%s.retransmissions" addr);
+      m_naks =
+        Sw_obs.Registry.counter metrics
+          (Printf.sprintf "net.mcast.%s.naks" addr);
     }
   in
   Option.iter (start_heartbeat e) g.heartbeat;
@@ -145,7 +154,7 @@ let request_missing e origin rx ~through =
            rx.nak_pending <- false;
            (* Re-check: the gap may have been filled meanwhile. *)
            if rx.next_expected <= through then begin
-             e.naks_sent <- e.naks_sent + 1;
+             Sw_obs.Registry.Counter.incr e.m_naks;
              send_to e ~dst:origin ~size:64
                (Mcast_nak
                   {
@@ -181,7 +190,7 @@ let handle e (pkt : Packet.t) =
           match Hashtbl.find_opt e.history mseq with
           | None -> ()
           | Some original ->
-              e.retransmissions <- e.retransmissions + 1;
+              Sw_obs.Registry.Counter.incr e.m_retransmissions;
               let pkt' =
                 Packet.make ~src:e.self ~dst:pkt.src ~size:original.Packet.size
                   ~seq:(Network.fresh_seq e.g.network) original.Packet.payload
@@ -197,5 +206,5 @@ let handle e (pkt : Packet.t) =
       end
   | _ -> invalid_arg "Multicast.handle: not a multicast packet"
 
-let retransmissions e = e.retransmissions
-let naks_sent e = e.naks_sent
+let retransmissions e = Sw_obs.Registry.Counter.value e.m_retransmissions
+let naks_sent e = Sw_obs.Registry.Counter.value e.m_naks

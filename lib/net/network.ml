@@ -1,5 +1,6 @@
 module Time = Sw_sim.Time
 module Engine = Sw_sim.Engine
+module Registry = Sw_obs.Registry
 
 type link_params = {
   latency : Time.t;
@@ -45,14 +46,19 @@ type t = {
   link_overrides : link_params Pair_tbl.t;
   node_overrides : link_params Addr_tbl.t;
   link_states : link_state Pair_tbl.t;
-  counters : int ref Pair_tbl.t;
+  counters : Registry.Counter.t Pair_tbl.t;
   mutable seq : int;
-  mutable delivered : int;
-  mutable undeliverable : int;
-  mutable lost : int;
+  m_delivered : Registry.Counter.t;
+  m_undeliverable : Registry.Counter.t;
+  m_lost : Registry.Counter.t;
 }
 
+let pair_metric ~src ~dst =
+  Printf.sprintf "net.link.%s.%s.delivered" (Address.to_string src)
+    (Address.to_string dst)
+
 let create engine ~default =
+  let metrics = Engine.metrics engine in
   {
     engine;
     default;
@@ -64,9 +70,9 @@ let create engine ~default =
     link_states = Pair_tbl.create 64;
     counters = Pair_tbl.create 64;
     seq = 0;
-    delivered = 0;
-    undeliverable = 0;
-    lost = 0;
+    m_delivered = Registry.counter metrics "net.delivered";
+    m_undeliverable = Registry.counter metrics "net.undeliverable";
+    m_lost = Registry.counter metrics "net.lost";
   }
 
 let engine t = t.engine
@@ -105,15 +111,19 @@ let link_state t pair =
       Pair_tbl.add t.link_states pair s;
       s
 
-let bump_counter t pair =
+let pair_counter t ((src, dst) as pair) =
   match Pair_tbl.find_opt t.counters pair with
-  | Some r -> incr r
-  | None -> Pair_tbl.add t.counters pair (ref 1)
+  | Some c -> c
+  | None ->
+      let c = Registry.counter (Engine.metrics t.engine) (pair_metric ~src ~dst) in
+      Pair_tbl.add t.counters pair c;
+      c
 
 let deliver_via t ~target (pkt : Packet.t) =
   let state = link_state t (pkt.src, target) in
   let p = state.params in
-  if p.loss > 0. && Sw_sim.Prng.float t.rng < p.loss then t.lost <- t.lost + 1
+  if p.loss > 0. && Sw_sim.Prng.float t.rng < p.loss then
+    Registry.Counter.incr t.m_lost
   else begin
     let now = Engine.now t.engine in
     let serialisation =
@@ -136,12 +146,12 @@ let deliver_via t ~target (pkt : Packet.t) =
     in
     state.last_arrival <- arrive;
     match Addr_tbl.find_opt t.handlers target with
-    | None -> t.undeliverable <- t.undeliverable + 1
+    | None -> Registry.Counter.incr t.m_undeliverable
     | Some handler ->
         ignore
-          (Engine.schedule_at t.engine arrive (fun () ->
-               t.delivered <- t.delivered + 1;
-               bump_counter t (pkt.src, pkt.dst);
+          (Engine.schedule_at ~kind:"net.deliver" t.engine arrive (fun () ->
+               Registry.Counter.incr t.m_delivered;
+               Registry.Counter.incr (pair_counter t (pkt.src, pkt.dst));
                handler pkt))
   end
 
@@ -159,14 +169,18 @@ let send t (pkt : Packet.t) =
       deliver_via t ~target pkt
 
 let count t ~src ~dst =
-  match Pair_tbl.find_opt t.counters (src, dst) with Some r -> !r | None -> 0
+  match Pair_tbl.find_opt t.counters (src, dst) with
+  | Some c -> Registry.Counter.value c
+  | None -> 0
 
-let delivered t = t.delivered
-let undeliverable t = t.undeliverable
-let lost t = t.lost
+let delivered t = Registry.Counter.value t.m_delivered
+let undeliverable t = Registry.Counter.value t.m_undeliverable
+let lost t = Registry.Counter.value t.m_lost
 
 let reset_counters t =
-  Pair_tbl.reset t.counters;
-  t.delivered <- 0;
-  t.undeliverable <- 0;
-  t.lost <- 0
+  (* Reset handles in place: the registry keeps the same counter cells, so
+     cached handles and future snapshots stay coherent. *)
+  Pair_tbl.iter (fun _ c -> Registry.Counter.reset c) t.counters;
+  Registry.Counter.reset t.m_delivered;
+  Registry.Counter.reset t.m_undeliverable;
+  Registry.Counter.reset t.m_lost

@@ -60,6 +60,11 @@ val send : t -> Packet.t -> unit
     Counts use the packet's original [src]/[dst] fields. *)
 val count : t -> src:Address.t -> dst:Address.t -> int
 
+(** [pair_metric ~src ~dst] is the registry path the pair's delivered-packet
+    counter lives under ([net.link.<src>.<dst>.delivered]), for reading the
+    same count out of a metrics snapshot. *)
+val pair_metric : src:Address.t -> dst:Address.t -> string
+
 (** Total delivered packets since the last reset. *)
 val delivered : t -> int
 

@@ -1,0 +1,88 @@
+type divergence_kind = Late_median | Delta_d_violation
+
+type t =
+  | Packet_proposed of {
+      vm : int;
+      observer : int;
+      proposer : int;
+      ingress_seq : int;
+      virt_ns : int64;
+    }
+  | Median_adopted of {
+      vm : int;
+      replica : int;
+      ingress_seq : int;
+      virt_ns : int64;
+      proposals : (int * int64) list;
+    }
+  | Packet_delivered of { vm : int; replica : int; seq : int; virt_ns : int64 }
+  | Divergence of { vm : int; replica : int; kind : divergence_kind }
+  | Vm_exit of {
+      vm : int;
+      replica : int;
+      machine : int;
+      virt_ns : int64;
+      instr : int64;
+    }
+  | Disk_irq of { vm : int; replica : int; tag : int; virt_ns : int64 }
+  | Dma_irq of { vm : int; replica : int; tag : int; virt_ns : int64 }
+  | Span_begin of { name : string }
+  | Span_end of { name : string; elapsed_ns : int64 }
+  | Message of { label : string; text : string }
+
+let label = function
+  | Packet_proposed _ -> "proposal"
+  | Median_adopted _ -> "median"
+  | Packet_delivered _ -> "deliver"
+  | Divergence _ -> "divergence"
+  | Vm_exit _ -> "vm-exit"
+  | Disk_irq _ -> "disk-irq"
+  | Dma_irq _ -> "dma-irq"
+  | Span_begin _ -> "span-begin"
+  | Span_end _ -> "span-end"
+  | Message _ -> "message"
+
+let pp_ns fmt t =
+  let f = Int64.to_float t in
+  let af = Float.abs f in
+  if af < 1e3 then Format.fprintf fmt "%Ldns" t
+  else if af < 1e6 then Format.fprintf fmt "%.3fus" (f /. 1e3)
+  else if af < 1e9 then Format.fprintf fmt "%.3fms" (f /. 1e6)
+  else Format.fprintf fmt "%.3fs" (f /. 1e9)
+
+let pp fmt = function
+  | Packet_proposed { vm; observer; proposer; ingress_seq; virt_ns } ->
+      if observer = proposer then
+        Format.fprintf fmt "vm%d/r%d proposes virt=%a for pkt #%d" vm proposer
+          pp_ns virt_ns ingress_seq
+      else
+        Format.fprintf fmt "vm%d/r%d records r%d's proposal virt=%a for pkt #%d"
+          vm observer proposer pp_ns virt_ns ingress_seq
+  | Median_adopted { vm; replica; ingress_seq; virt_ns; proposals } ->
+      Format.fprintf fmt "vm%d/r%d adopts median virt=%a for pkt #%d (%s)" vm
+        replica pp_ns virt_ns ingress_seq
+        (String.concat ", "
+           (List.map
+              (fun (r, v) -> Format.asprintf "r%d:%a" r pp_ns v)
+              (List.sort Stdlib.compare proposals)))
+  | Packet_delivered { vm; replica; seq; virt_ns } ->
+      Format.fprintf fmt "vm%d/r%d delivers pkt #%d to guest at virt=%a" vm
+        replica seq pp_ns virt_ns
+  | Divergence { vm; replica; kind } ->
+      Format.fprintf fmt "vm%d/r%d diverged (%s)" vm replica
+        (match kind with
+        | Late_median -> "median in the past"
+        | Delta_d_violation -> "delta_d violation")
+  | Vm_exit { vm; replica; machine; virt_ns; instr } ->
+      Format.fprintf fmt "vm%d/r%d@m%d exit at virt=%a instr=%Ld" vm replica
+        machine pp_ns virt_ns instr
+  | Disk_irq { vm; replica; tag; virt_ns } ->
+      Format.fprintf fmt "vm%d/r%d disk irq tag=%d at virt=%a" vm replica tag
+        pp_ns virt_ns
+  | Dma_irq { vm; replica; tag; virt_ns } ->
+      Format.fprintf fmt "vm%d/r%d dma irq tag=%d at virt=%a" vm replica tag
+        pp_ns virt_ns
+  | Span_begin { name } -> Format.fprintf fmt "span %s begins" name
+  | Span_end { name; elapsed_ns } ->
+      Format.fprintf fmt "span %s ends after %a" name pp_ns elapsed_ns
+  | Message { label; text } -> Format.fprintf fmt "%-18s %s" label text

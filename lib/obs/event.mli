@@ -1,0 +1,52 @@
+(** Structured trace events.
+
+    Each event is a typed variant carrying the identifying fields of the
+    protocol step it records; nothing is formatted at emission time.
+    Rendering happens only when a consumer prints the event (e.g. the Fig. 2
+    protocol trace), so emitting into a disabled {!Trace} costs a branch and
+    no allocation at well-written call sites (guard with {!Trace.active}
+    before constructing the payload). Timestamps are int64 nanoseconds — the
+    representation of [Sw_sim.Time.t]. *)
+
+type divergence_kind =
+  | Late_median  (** The adopted median was already in this replica's past. *)
+  | Delta_d_violation  (** A disk/DMA transfer missed its [virt + Δd] slot. *)
+
+type t =
+  | Packet_proposed of {
+      vm : int;
+      observer : int;  (** Replica at which the proposal was recorded. *)
+      proposer : int;
+      ingress_seq : int;
+      virt_ns : int64;
+    }
+  | Median_adopted of {
+      vm : int;
+      replica : int;
+      ingress_seq : int;
+      virt_ns : int64;
+      proposals : (int * int64) list;  (** (proposer, proposed virt). *)
+    }
+  | Packet_delivered of { vm : int; replica : int; seq : int; virt_ns : int64 }
+  | Divergence of { vm : int; replica : int; kind : divergence_kind }
+  | Vm_exit of {
+      vm : int;
+      replica : int;
+      machine : int;
+      virt_ns : int64;
+      instr : int64;
+    }
+  | Disk_irq of { vm : int; replica : int; tag : int; virt_ns : int64 }
+  | Dma_irq of { vm : int; replica : int; tag : int; virt_ns : int64 }
+  | Span_begin of { name : string }
+  | Span_end of { name : string; elapsed_ns : int64 }
+  | Message of { label : string; text : string }
+      (** Freeform legacy entry (the [Sw_sim.Trace] shim emits these). *)
+
+(** Short kind tag, e.g. ["proposal"], ["median"], ["vm-exit"]. *)
+val label : t -> string
+
+(** Adaptive-unit nanosecond printer (["1.500ms"]), for rendering. *)
+val pp_ns : Format.formatter -> int64 -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+let float_repr f =
+  if Float.is_nan f then "\"nan\""
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else
+    (* Shortest representation that round-trips, so serialisation is a
+       function of the float's bits alone. *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let emit_data buf (data : Snapshot.data) =
+  match data with
+  | Snapshot.Counter v ->
+      Buffer.add_string buf "{\"kind\":\"counter\",\"value\":";
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf '}'
+  | Snapshot.Sum v ->
+      Buffer.add_string buf "{\"kind\":\"sum\",\"value\":";
+      Buffer.add_string buf (float_repr v);
+      Buffer.add_char buf '}'
+  | Snapshot.Gauge v ->
+      Buffer.add_string buf "{\"kind\":\"gauge\",\"value\":";
+      Buffer.add_string buf (float_repr v);
+      Buffer.add_char buf '}'
+  | Snapshot.Histogram h ->
+      Buffer.add_string buf "{\"kind\":\"histogram\",\"count\":";
+      Buffer.add_string buf (string_of_int h.Snapshot.count);
+      Buffer.add_string buf ",\"total\":";
+      Buffer.add_string buf (Int64.to_string h.Snapshot.total);
+      let bound name v =
+        Buffer.add_string buf (Printf.sprintf ",%S:" name);
+        if h.Snapshot.count = 0 then Buffer.add_string buf "null"
+        else Buffer.add_string buf (Int64.to_string v)
+      in
+      bound "min" h.Snapshot.min;
+      bound "max" h.Snapshot.max;
+      Buffer.add_string buf ",\"buckets\":[";
+      List.iteri
+        (fun i (idx, n) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '[';
+          let b = Buckets.bound idx in
+          if Int64.equal b Int64.max_int then Buffer.add_string buf "null"
+          else Buffer.add_string buf (Int64.to_string b);
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int n);
+          Buffer.add_char buf ']')
+        h.Snapshot.buckets;
+      Buffer.add_string buf "]}"
+
+let to_json_string snapshot =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, data) ->
+      if i > 0 then Buffer.add_char buf ',';
+      escape buf name;
+      Buffer.add_char buf ':';
+      emit_data buf data)
+    (Snapshot.to_list snapshot);
+  Buffer.add_char buf '}';
+  Buffer.contents buf

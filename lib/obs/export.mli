@@ -1,0 +1,28 @@
+(** Deterministic JSON rendering of a {!Snapshot}.
+
+    The output is a pure function of the snapshot's contents: metric names
+    appear in ascending order, integers print exactly, and floats use the
+    shortest representation that round-trips. Two registries that merged to
+    equal snapshots therefore serialise byte-identically — the property the
+    bench [-j 1] vs [-j N] comparison relies on.
+
+    Schema: a single object mapping each metric path to
+    {v
+      {"kind":"counter","value":N}
+      {"kind":"sum","value":X}
+      {"kind":"gauge","value":X}
+      {"kind":"histogram","count":N,"total":T,"min":M,"max":M,
+       "buckets":[[bound_ns,count],...]}
+    v}
+    where histogram [buckets] lists only non-empty buckets as
+    [[upper bound in ns, count]] pairs in ascending bound order; the
+    catch-all bucket's bound prints as [null]. [min]/[max] are [null] when
+    [count = 0]. *)
+
+(** Canonical JSON for one snapshot (no trailing newline). *)
+val to_json_string : Snapshot.t -> string
+
+(** [float_repr f] is the shortest decimal representation of [f] that parses
+    back to the same float ("nan"/"inf" quoted). Exposed so other emitters
+    can match this module byte-for-byte. *)
+val float_repr : float -> string

@@ -95,14 +95,56 @@ let of_failure (f : Runner.failure) =
       ("reason", reason);
     ]
 
-let bench_file ~workers ~wall_s ~timings ~experiments =
+let of_metrics snapshot =
+  let module Snapshot = Sw_obs.Snapshot in
+  let histogram (h : Snapshot.histogram) =
+    let bound v = if h.Snapshot.count = 0 then Null else Int (Int64.to_int v) in
+    Obj
+      [
+        ("kind", String "histogram");
+        ("count", Int h.Snapshot.count);
+        ("total", Int (Int64.to_int h.Snapshot.total));
+        ("min", bound h.Snapshot.min);
+        ("max", bound h.Snapshot.max);
+        ( "buckets",
+          List
+            (List.map
+               (fun (i, n) ->
+                 let b = Sw_obs.Buckets.bound i in
+                 List
+                   [
+                     (if Int64.equal b Int64.max_int then Null
+                      else Int (Int64.to_int b));
+                     Int n;
+                   ])
+               h.Snapshot.buckets) );
+      ]
+  in
+  let data = function
+    | Snapshot.Counter v ->
+        Obj [ ("kind", String "counter"); ("value", Int v) ]
+    | Snapshot.Sum v -> Obj [ ("kind", String "sum"); ("value", Float v) ]
+    | Snapshot.Gauge v -> Obj [ ("kind", String "gauge"); ("value", Float v) ]
+    | Snapshot.Histogram h -> histogram h
+  in
+  Obj (List.map (fun (name, d) -> (name, data d)) (Snapshot.to_list snapshot))
+
+let bench_file ?metrics ~workers ~wall_s ~timings ~experiments () =
+  let metrics_field =
+    match metrics with
+    | None -> []
+    | Some snapshot -> [ ("metrics", of_metrics snapshot) ]
+  in
   Obj
-    [
-      ("schema", String "stopwatch-bench/1");
-      ("workers", Int workers);
-      ("experiments", Obj experiments);
-      ( "timing",
-        Obj
-          (("total_wall_s", Float wall_s)
-          :: List.map (fun (name, s) -> (name, Float s)) timings) );
-    ]
+    ([
+       ("schema", String "stopwatch-bench/1");
+       ("workers", Int workers);
+       ("experiments", Obj experiments);
+     ]
+    @ metrics_field
+    @ [
+        ( "timing",
+          Obj
+            (("total_wall_s", Float wall_s)
+            :: List.map (fun (name, s) -> (name, Float s)) timings) );
+      ])

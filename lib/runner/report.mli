@@ -31,14 +31,25 @@ val of_summary : Sw_sim.Summary.t -> t
 (** A structured failure as an object: [{"key", "attempts", "reason"}]. *)
 val of_failure : Runner.failure -> t
 
-(** [bench_file ~workers ~wall_s ~timings ~experiments] assembles the
-    [BENCH_results.json] document. Everything under ["experiments"] is
-    deterministic (same bytes for any worker count); worker count and
-    wall-clock readings live under ["workers"] / ["timing"] so consumers —
-    and the determinism test — can split the two. *)
+(** One metrics snapshot as an object keyed by metric path; each value is
+    [{"kind", "value"}] (counter/sum/gauge) or the histogram object
+    [{"kind","count","total","min","max","buckets"}], with buckets as
+    [[upper_bound_ns, count]] pairs (the catch-all bound is [Null]). Same
+    schema as [Sw_obs.Export.to_json_string], so equal snapshots serialise
+    to equal bytes either way. *)
+val of_metrics : Sw_obs.Snapshot.t -> t
+
+(** [bench_file ?metrics ~workers ~wall_s ~timings ~experiments ()] assembles
+    the [BENCH_results.json] document. Everything under ["experiments"] — and
+    ["metrics"], when a merged snapshot is supplied — is deterministic (same
+    bytes for any worker count); worker count and wall-clock readings live
+    under ["workers"] / ["timing"] so consumers — and the determinism test —
+    can split the two. *)
 val bench_file :
+  ?metrics:Sw_obs.Snapshot.t ->
   workers:int ->
   wall_s:float ->
   timings:(string * float) list ->
   experiments:(string * t) list ->
+  unit ->
   t

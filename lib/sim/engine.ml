@@ -2,29 +2,65 @@ type event = { fn : unit -> unit; mutable cancelled : bool }
 
 type event_id = event
 
+type kind_hooks = {
+  k_scheduled : Sw_obs.Registry.Counter.t;
+  k_delay : Sw_obs.Registry.Histogram.t;
+}
+
 type t = {
   mutable now : Time.t;
   heap : event Heap.t;
   mutable seq : int;
   mutable live : int;
-  mutable fired : int;
   root_rng : Prng.t;
+  metrics : Sw_obs.Registry.t;
+  m_scheduled : Sw_obs.Registry.Counter.t;
+  m_fired : Sw_obs.Registry.Counter.t;
+  m_cancelled : Sw_obs.Registry.Counter.t;
+  m_depth : Sw_obs.Registry.Gauge.t;
+  kinds : (string, kind_hooks) Hashtbl.t;
 }
 
-let create ?(seed = 0x5397_BA1DL) () =
+let create ?(seed = 0x5397_BA1DL) ?metrics () =
+  let metrics =
+    match metrics with Some m -> m | None -> Sw_obs.Registry.create ()
+  in
   {
     now = Time.zero;
     heap = Heap.create ();
     seq = 0;
     live = 0;
-    fired = 0;
     root_rng = Prng.create seed;
+    metrics;
+    m_scheduled = Sw_obs.Registry.counter metrics "sim.events.scheduled";
+    m_fired = Sw_obs.Registry.counter metrics "sim.events.fired";
+    m_cancelled = Sw_obs.Registry.counter metrics "sim.events.cancelled";
+    m_depth = Sw_obs.Registry.gauge metrics "sim.queue.depth";
+    kinds = Hashtbl.create 16;
   }
 
 let now t = t.now
 let rng t = Prng.split t.root_rng
+let metrics t = t.metrics
 
-let schedule_at t at fn =
+let kind_hooks t kind =
+  match Hashtbl.find_opt t.kinds kind with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          k_scheduled =
+            Sw_obs.Registry.counter t.metrics
+              (Printf.sprintf "sim.events.%s.scheduled" kind);
+          k_delay =
+            Sw_obs.Registry.histogram t.metrics
+              (Printf.sprintf "sim.events.%s.delay_ns" kind);
+        }
+      in
+      Hashtbl.add t.kinds kind h;
+      h
+
+let schedule_at ?kind t at fn =
   if Time.(at < t.now) then
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at
@@ -33,17 +69,26 @@ let schedule_at t at fn =
   Heap.push t.heap ~key:at ~seq:t.seq ev;
   t.seq <- t.seq + 1;
   t.live <- t.live + 1;
+  Sw_obs.Registry.Counter.incr t.m_scheduled;
+  Sw_obs.Registry.Gauge.observe t.m_depth (float_of_int t.live);
+  (match kind with
+  | None -> ()
+  | Some kind ->
+      let h = kind_hooks t kind in
+      Sw_obs.Registry.Counter.incr h.k_scheduled;
+      Sw_obs.Registry.Histogram.observe h.k_delay (Time.sub at t.now));
   ev
 
-let schedule_after t delay fn =
+let schedule_after ?kind t delay fn =
   if Time.is_negative delay then
     invalid_arg "Engine.schedule_after: negative delay";
-  schedule_at t (Time.add t.now delay) fn
+  schedule_at ?kind t (Time.add t.now delay) fn
 
 let cancel t ev =
   if not ev.cancelled then begin
     ev.cancelled <- true;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    Sw_obs.Registry.Counter.incr t.m_cancelled
   end
 
 let rec step t =
@@ -54,7 +99,7 @@ let rec step t =
       else begin
         t.now <- at;
         t.live <- t.live - 1;
-        t.fired <- t.fired + 1;
+        Sw_obs.Registry.Counter.incr t.m_fired;
         ev.fn ();
         true
       end
@@ -79,4 +124,4 @@ let rec run ?until t =
             run ?until t)
 
 let pending t = t.live
-let fired t = t.fired
+let fired t = Sw_obs.Registry.Counter.value t.m_fired

@@ -1,16 +1,20 @@
 (** Discrete-event simulation engine.
 
-    The engine owns the simulated clock and a priority queue of pending
-    events. Events scheduled for the same instant fire in the order they were
-    scheduled, so runs are deterministic. *)
+    The engine owns the simulated clock, a priority queue of pending events,
+    and the simulation's metric registry. Events scheduled for the same
+    instant fire in the order they were scheduled, so runs are
+    deterministic. *)
 
 type t
 
 type event_id
 
-(** [create ~seed ()] makes an engine whose clock starts at {!Time.zero} and
-    whose root PRNG is seeded with [seed]. *)
-val create : ?seed:int64 -> unit -> t
+(** [create ~seed ~metrics ()] makes an engine whose clock starts at
+    {!Time.zero} and whose root PRNG is seeded with [seed]. The engine
+    records its own bookkeeping ([sim.events.*], [sim.queue.depth]) in
+    [metrics] (a private registry when omitted) and hands the registry to
+    components via {!metrics}. *)
+val create : ?seed:int64 -> ?metrics:Sw_obs.Registry.t -> unit -> t
 
 (** Current simulated time. *)
 val now : t -> Time.t
@@ -20,13 +24,20 @@ val now : t -> Time.t
     perturb the stream assignment. *)
 val rng : t -> Prng.t
 
-(** [schedule_at t at f] runs [f] when the clock reaches [at]. Raises
-    [Invalid_argument] when [at] is in the past. *)
-val schedule_at : t -> Time.t -> (unit -> unit) -> event_id
+(** The registry this engine (and every component built on it) records
+    into. *)
+val metrics : t -> Sw_obs.Registry.t
 
-(** [schedule_after t delay f] runs [f] after [delay] (an instant of
+(** [schedule_at ?kind t at f] runs [f] when the clock reaches [at]. Raises
+    [Invalid_argument] when [at] is in the past. When [kind] is given (a
+    metric path segment such as ["net.deliver"]) the engine additionally
+    counts the event under [sim.events.<kind>.scheduled] and records its
+    scheduling delay in the [sim.events.<kind>.delay_ns] histogram. *)
+val schedule_at : ?kind:string -> t -> Time.t -> (unit -> unit) -> event_id
+
+(** [schedule_after ?kind t delay f] runs [f] after [delay] (an instant of
     [now + delay]). Raises [Invalid_argument] for negative delays. *)
-val schedule_after : t -> Time.t -> (unit -> unit) -> event_id
+val schedule_after : ?kind:string -> t -> Time.t -> (unit -> unit) -> event_id
 
 (** [cancel t id] prevents the event from firing; cancelling an already-fired
     or already-cancelled event is a no-op. *)
@@ -42,5 +53,5 @@ val run : ?until:Time.t -> t -> unit
 (** Number of pending (uncancelled) events. *)
 val pending : t -> int
 
-(** Total events fired since creation. *)
+(** Total events fired since creation (the [sim.events.fired] counter). *)
 val fired : t -> int

@@ -1,45 +1,32 @@
+type t = Sw_obs.Trace.t
+
 type entry = { at : Time.t; label : string; message : string }
 
-type t = {
-  capacity : int;
-  buffer : entry option array;
-  mutable next : int;
-  mutable count : int;
-  mutable enabled : bool;
-}
-
-let create ?(capacity = 65536) () =
-  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; buffer = Array.make capacity None; next = 0; count = 0; enabled = false }
-
-let enable t = t.enabled <- true
-let disable t = t.enabled <- false
-let enabled t = t.enabled
+let create = Sw_obs.Trace.create
+let enable = Sw_obs.Trace.enable
+let disable = Sw_obs.Trace.disable
+let enabled = Sw_obs.Trace.enabled
 
 let emit t ~at ~label message =
-  if t.enabled then begin
-    t.buffer.(t.next) <- Some { at; label; message };
-    t.next <- (t.next + 1) mod t.capacity;
-    if t.count < t.capacity then t.count <- t.count + 1
-  end
+  (* [Time.t] is an [int64] of nanoseconds, so [at] is the [at_ns]. *)
+  Sw_obs.Trace.emit t ~at_ns:at (Sw_obs.Event.Message { label; text = message })
 
-let entries t =
-  let start = if t.count < t.capacity then 0 else t.next in
-  let rec collect i acc =
-    if i >= t.count then List.rev acc
-    else
-      match t.buffer.((start + i) mod t.capacity) with
-      | None -> collect (i + 1) acc
-      | Some e -> collect (i + 1) (e :: acc)
-  in
-  collect 0 []
+let entry_of (e : Sw_obs.Trace.entry) =
+  match e.Sw_obs.Trace.event with
+  | Sw_obs.Event.Message { label; text } ->
+      { at = e.Sw_obs.Trace.at_ns; label; message = text }
+  | ev ->
+      {
+        at = e.Sw_obs.Trace.at_ns;
+        label = Sw_obs.Event.label ev;
+        message = Format.asprintf "%a" Sw_obs.Event.pp ev;
+      }
 
-let clear t =
-  Array.fill t.buffer 0 t.capacity None;
-  t.next <- 0;
-  t.count <- 0
-
-let length t = t.count
+let iter t f = Sw_obs.Trace.iter t (fun e -> f (entry_of e))
+let fold f acc t = Sw_obs.Trace.fold (fun acc e -> f acc (entry_of e)) acc t
+let entries t = List.rev (fold (fun acc e -> e :: acc) [] t)
+let clear = Sw_obs.Trace.clear
+let length = Sw_obs.Trace.length
 
 let pp_entry fmt e =
   Format.fprintf fmt "[%a] %-18s %s" Time.pp e.at e.label e.message

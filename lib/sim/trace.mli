@@ -1,10 +1,15 @@
-(** Lightweight event tracing.
+(** Legacy string-message tracing — a thin shim over {!Sw_obs.Trace}.
 
-    A trace is a bounded log of timestamped, labelled messages. Components
-    emit into it when tracing is enabled; experiments and tests read it back
-    to check protocol behaviour (e.g. the Fig. 2 packet-delivery trace). *)
+    New code should emit typed {!Sw_obs.Event.t} values through
+    {!Sw_obs.Trace} directly; this module survives so existing call sites and
+    tests keep working. [t] {i is} an [Sw_obs.Trace.t], so the same sink can
+    be handed to components speaking either API: typed events read back
+    through this module are rendered to strings on access, and [emit] here
+    stores an {!Sw_obs.Event.Message}.
 
-type t
+    @deprecated Use {!Sw_obs.Trace} in new code. *)
+
+type t = Sw_obs.Trace.t
 
 type entry = { at : Time.t; label : string; message : string }
 
@@ -20,7 +25,13 @@ val disable : t -> unit
 val enabled : t -> bool
 val emit : t -> at:Time.t -> label:string -> string -> unit
 
-(** Entries in emission order (oldest first). *)
+(** [iter t f] applies [f] to each entry in emission order (oldest first),
+    rendering typed events to strings as it goes. *)
+val iter : t -> (entry -> unit) -> unit
+
+val fold : ('acc -> entry -> 'acc) -> 'acc -> t -> 'acc
+
+(** Entries in emission order (oldest first); a thin wrapper over {!fold}. *)
 val entries : t -> entry list
 
 val clear : t -> unit

@@ -1,5 +1,6 @@
 module Time = Sw_sim.Time
 module Engine = Sw_sim.Engine
+module Registry = Sw_obs.Registry
 
 type resident = {
   name : string;
@@ -19,10 +20,10 @@ type t = {
   disk : Sw_disk.Disk.t;
   mutable residents : resident_state array;
   mutable dom0_busy_until : Time.t;
-  mutable dom0_total : Time.t;
   mutable nic_busy_until : Time.t;
   mutable dma_busy_until : Time.t;
-  mutable slices : int;
+  m_slices : Registry.Counter.t;
+  m_dom0_ns : Registry.Counter.t;
 }
 
 let create engine network ~id ~config ?(rate_multiplier = 1.0)
@@ -30,6 +31,7 @@ let create engine network ~id ~config ?(rate_multiplier = 1.0)
   Config.validate config;
   if rate_multiplier <= 0. then
     invalid_arg "Machine.create: rate_multiplier must be positive";
+  let metrics = Engine.metrics engine in
   {
     engine;
     network;
@@ -37,13 +39,15 @@ let create engine network ~id ~config ?(rate_multiplier = 1.0)
     config;
     slice_wall = Time.scale config.Config.quantum (1. /. rate_multiplier);
     clock_offset;
-    disk = Sw_disk.Disk.create engine ~params:config.Config.disk ();
+    disk =
+      Sw_disk.Disk.create engine ~params:config.Config.disk
+        ~path:(Printf.sprintf "vmm.%d.disk" id) ();
     residents = [||];
     dom0_busy_until = Time.zero;
-    dom0_total = Time.zero;
     nic_busy_until = Time.zero;
     dma_busy_until = Time.zero;
-    slices = 0;
+    m_slices = Registry.counter metrics (Printf.sprintf "vmm.%d.slices" id);
+    m_dom0_ns = Registry.counter metrics (Printf.sprintf "vmm.%d.dom0_ns" id);
   }
 
 let id t = t.id
@@ -53,8 +57,8 @@ let address t = Sw_net.Address.Vmm t.id
 let engine t = t.engine
 let network t = t.network
 let disk t = t.disk
-let slices t = t.slices
-let dom0_time t = t.dom0_total
+let slices t = Registry.Counter.value t.m_slices
+let dom0_time t = Time.ns (Registry.Counter.value t.m_dom0_ns)
 
 (* Each guest has its own core (the paper's machines have 16 cores for at
    most (n-1)/2 guests), so resident slice loops run independently; a
@@ -64,9 +68,9 @@ let rec slice_loop t rs =
   if rs.r.runnable () then begin
     rs.running <- true;
     let slice_start = Engine.now t.engine in
-    t.slices <- t.slices + 1;
+    Registry.Counter.incr t.m_slices;
     ignore
-      (Engine.schedule_after t.engine t.slice_wall (fun () ->
+      (Engine.schedule_after ~kind:"vmm.slice" t.engine t.slice_wall (fun () ->
            rs.r.on_slice_end ~slice_start;
            slice_loop t rs))
   end
@@ -88,8 +92,8 @@ let dom0_execute t ~cost k =
   let start = Time.max now t.dom0_busy_until in
   let finish = Time.add start cost in
   t.dom0_busy_until <- finish;
-  t.dom0_total <- Time.add t.dom0_total cost;
-  ignore (Engine.schedule_at t.engine finish k)
+  Registry.Counter.add t.m_dom0_ns (Int64.to_int cost);
+  ignore (Engine.schedule_at ~kind:"vmm.dom0" t.engine finish k)
 
 let dom0_work t span = dom0_execute t ~cost:span (fun () -> ())
 

@@ -1,4 +1,5 @@
 module Time = Sw_sim.Time
+module Registry = Sw_obs.Registry
 
 type mode = Stopwatch | Baseline
 
@@ -27,19 +28,26 @@ type t = {
   config : Config.t;
   mode : mode;
   mutable members : member array;
-  mutable divergences : int;
-  mutable skew_blocks : int;
+  m_divergences : Registry.Counter.t;
+  m_skew_blocks : Registry.Counter.t;
 }
 
-let create ~vm ~config ~mode =
+let create ?metrics ~vm ~config ~mode () =
   Config.validate config;
+  (* Standalone groups (unit tests) get a private registry; the cloud passes
+     its simulation-wide one. *)
+  let metrics =
+    match metrics with Some m -> m | None -> Registry.create ()
+  in
   {
     vm;
     config;
     mode;
     members = [||];
-    divergences = 0;
-    skew_blocks = 0;
+    m_divergences =
+      Registry.counter metrics (Printf.sprintf "vm%d.divergences" vm);
+    m_skew_blocks =
+      Registry.counter metrics (Printf.sprintf "vm%d.skew_blocks" vm);
   }
 
 let vm t = t.vm
@@ -100,7 +108,8 @@ let update_skew t =
           m.wake ()
         end
         else begin
-          if should_block && not m.blocked_skew then t.skew_blocks <- t.skew_blocks + 1;
+          if should_block && not m.blocked_skew then
+            Registry.Counter.incr t.m_skew_blocks;
           m.blocked_skew <- should_block
         end)
       t.members
@@ -185,9 +194,9 @@ let receive_report t ~at ~from_replica ~epoch ~d ~r =
         try_resolve_epoch t at
       end
 
-let record_divergence t = t.divergences <- t.divergences + 1
-let skew_blocks t = t.skew_blocks
-let divergences t = t.divergences
+let record_divergence t = Registry.Counter.incr t.m_divergences
+let skew_blocks t = Registry.Counter.value t.m_skew_blocks
+let divergences t = Registry.Counter.value t.m_divergences
 
 let epochs_resolved t =
   if Array.length t.members = 0 then 0

@@ -12,7 +12,12 @@ type mode = Stopwatch | Baseline
 type t
 type member
 
-val create : vm:int -> config:Config.t -> mode:mode -> t
+(** [create ?metrics ~vm ~config ~mode ()] registers the group's divergence
+    and skew-block counters ([vm<id>.divergences], [vm<id>.skew_blocks]) in
+    [metrics] — the simulation registry when deployed by the cloud, a private
+    one when omitted (standalone tests). *)
+val create :
+  ?metrics:Sw_obs.Registry.t -> vm:int -> config:Config.t -> mode:mode -> unit -> t
 val vm : t -> int
 val mode : t -> mode
 val config : t -> Config.t

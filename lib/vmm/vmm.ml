@@ -1,5 +1,7 @@
 module Time = Sw_sim.Time
 module Engine = Sw_sim.Engine
+module Registry = Sw_obs.Registry
+module Event = Sw_obs.Event
 module Packet = Sw_net.Packet
 module Address = Sw_net.Address
 
@@ -49,14 +51,15 @@ type instance = {
   inbound : (int, inbound_entry) Hashtbl.t;
   mutable pending : pending list;  (** Sorted by (delivery, cls, key). *)
   mutable disk_waiting : disk_entry list;
-  mutable net_deliveries : int;
-  mutable disk_interrupts : int;
-  mutable dma_interrupts : int;
-  mutable delta_d_violations : int;
+  m_net : Registry.Counter.t;
+  m_disk_irq : Registry.Counter.t;
+  m_dma_irq : Registry.Counter.t;
+  m_delta_d : Registry.Counter.t;
   mutable last_net_virt : Time.t option;
   inter_delivery : Sw_sim.Samples.t;
-  mutable trace : Sw_sim.Trace.t option;
-  median_sources : float array;
+  h_inter : Registry.Histogram.t;
+  mutable trace : Sw_obs.Trace.t option;
+  m_median_sources : Registry.Sum.t array;
       (** Per replica id: medians credited to its proposal (ties split). *)
 }
 
@@ -65,40 +68,39 @@ type t = {
   instances : (int, instance) Hashtbl.t;
   mcast_routes : (int, Sw_net.Multicast.endpoint) Hashtbl.t;
       (** Multicast group id -> endpoint, for inbound demux. *)
-  mutable unknown : int;
+  m_unknown : Registry.Counter.t;
 }
 
 let machine t = t.mach
 let vm i = i.vm_id
 let replica i = Replica_group.replica_id i.member
 let guest i = i.guest
-let net_deliveries i = i.net_deliveries
-let disk_interrupts i = i.disk_interrupts
-let dma_interrupts i = i.dma_interrupts
+let metric_prefix (i : instance) =
+  Printf.sprintf "vmm.%d.vm%d" (Machine.id i.mach) i.vm_id
+
+let net_deliveries i = Registry.Counter.value i.m_net
+let disk_interrupts i = Registry.Counter.value i.m_disk_irq
+let dma_interrupts i = Registry.Counter.value i.m_dma_irq
 let inter_delivery_virts_ms i = Sw_sim.Samples.to_array i.inter_delivery
-let delta_d_violations i = i.delta_d_violations
-let unknown_packets t = t.unknown
+let delta_d_violations i = Registry.Counter.value i.m_delta_d
+let unknown_packets t = Registry.Counter.value t.m_unknown
 let instance_of_vm t vm = Hashtbl.find_opt t.instances vm
 let set_trace i tr = i.trace <- Some tr
 
 let log_op i entry =
   if i.config.Config.replay_log then i.log_rev <- entry :: i.log_rev
-let median_source_counts i = Array.copy i.median_sources
 
-let trace i fmt =
-  Format.kasprintf
-    (fun message ->
-      match i.trace with
-      | Some tr ->
-          let at = Engine.now (Machine.engine i.mach) in
-          let label =
-            Printf.sprintf "vm%d/r%d@m%d" i.vm_id
-              (Replica_group.replica_id i.member)
-              (Machine.id i.mach)
-          in
-          Sw_sim.Trace.emit tr ~at ~label message
-      | None -> ())
-    fmt
+let median_source_counts i = Array.map Registry.Sum.value i.m_median_sources
+
+(* Guard every emission with [trace_on] so a disabled (or absent) sink costs
+   one branch: no event payload is allocated and nothing is formatted. *)
+let trace_on i = Sw_obs.Trace.active i.trace
+
+let emit i event =
+  match i.trace with
+  | None -> ()
+  | Some tr ->
+      Sw_obs.Trace.emit tr ~at_ns:(Engine.now (Machine.engine i.mach)) event
 
 let insert_pending i entry =
   let precedes a b =
@@ -135,16 +137,29 @@ let complete_inbound i ~ingress_seq entry =
       in
       let credit = 1. /. float_of_int (List.length winners) in
       List.iter
-        (fun (who, _) -> i.median_sources.(who) <- i.median_sources.(who) +. credit)
+        (fun (who, _) -> Registry.Sum.add i.m_median_sources.(who) credit)
         winners;
-      trace i "median delivery virt=%a for pkt #%d (proposals: %s)" Time.pp
-        delivery ingress_seq
-        (String.concat ", "
-           (List.map
-              (fun (r, v) -> Printf.sprintf "r%d:%s" r (Time.to_string v))
-              (List.sort Stdlib.compare entry.proposals)));
-      if Time.(delivery < Replica_group.member_virt i.member) then
+      if trace_on i then
+        emit i
+          (Event.Median_adopted
+             {
+               vm = i.vm_id;
+               replica = Replica_group.replica_id i.member;
+               ingress_seq;
+               virt_ns = delivery;
+               proposals = entry.proposals;
+             });
+      if Time.(delivery < Replica_group.member_virt i.member) then begin
         Replica_group.record_divergence i.group;
+        if trace_on i then
+          emit i
+            (Event.Divergence
+               {
+                 vm = i.vm_id;
+                 replica = Replica_group.replica_id i.member;
+                 kind = Event.Late_median;
+               })
+      end;
       insert_pending i
         { delivery; cls = 0; key = ingress_seq; event = Sw_vm.App.Packet_in inner }
   | _ -> ()
@@ -170,9 +185,17 @@ let on_guest_bound i ~ingress_seq ~(inner : Packet.t) =
     let proposed =
       Time.add (Replica_group.member_virt i.member) i.config.Config.delta_n
     in
-    trace i "packet #%d arrived; buffering; proposing virt=%a" ingress_seq
-      Time.pp proposed;
     let my_id = Replica_group.replica_id i.member in
+    if trace_on i then
+      emit i
+        (Event.Packet_proposed
+           {
+             vm = i.vm_id;
+             observer = my_id;
+             proposer = my_id;
+             ingress_seq;
+             virt_ns = proposed;
+           });
     add_proposal entry ~proposer:my_id ~virt:proposed;
     let payload =
       Packet.Proposal { vm = i.vm_id; ingress_seq; proposer = my_id; virt = proposed }
@@ -205,8 +228,16 @@ let on_guest_bound i ~ingress_seq ~(inner : Packet.t) =
   end
 
 let on_proposal i ~ingress_seq ~proposer ~virt =
-  trace i "proposal from r%d for pkt #%d: virt=%a" proposer ingress_seq Time.pp
-    virt;
+  if trace_on i then
+    emit i
+      (Event.Packet_proposed
+         {
+           vm = i.vm_id;
+           observer = Replica_group.replica_id i.member;
+           proposer;
+           ingress_seq;
+           virt_ns = virt;
+         });
   let entry = inbound_entry i ingress_seq in
   add_proposal entry ~proposer ~virt;
   complete_inbound i ~ingress_seq entry
@@ -249,16 +280,45 @@ let deliver_due i =
         log_op i (L_inject hd.event);
         (match hd.event with
         | Sw_vm.App.Packet_in _ ->
-            trace i "delivering pkt #%d to guest at virt=%a" hd.key Time.pp virt;
-            i.net_deliveries <- i.net_deliveries + 1;
+            if trace_on i then
+              emit i
+                (Event.Packet_delivered
+                   {
+                     vm = i.vm_id;
+                     replica = Replica_group.replica_id i.member;
+                     seq = hd.key;
+                     virt_ns = virt;
+                   });
+            Registry.Counter.incr i.m_net;
             (match i.last_net_virt with
             | Some prev ->
-                Sw_sim.Samples.add i.inter_delivery
-                  (Time.to_float_ms (Time.sub virt prev))
+                let gap = Time.sub virt prev in
+                Sw_sim.Samples.add i.inter_delivery (Time.to_float_ms gap);
+                Registry.Histogram.observe i.h_inter gap
             | None -> ());
             i.last_net_virt <- Some virt
-        | Sw_vm.App.Disk_done _ -> i.disk_interrupts <- i.disk_interrupts + 1
-        | Sw_vm.App.Dma_done _ -> i.dma_interrupts <- i.dma_interrupts + 1
+        | Sw_vm.App.Disk_done { tag } ->
+            Registry.Counter.incr i.m_disk_irq;
+            if trace_on i then
+              emit i
+                (Event.Disk_irq
+                   {
+                     vm = i.vm_id;
+                     replica = Replica_group.replica_id i.member;
+                     tag;
+                     virt_ns = virt;
+                   })
+        | Sw_vm.App.Dma_done { tag } ->
+            Registry.Counter.incr i.m_dma_irq;
+            if trace_on i then
+              emit i
+                (Event.Dma_irq
+                   {
+                     vm = i.vm_id;
+                     replica = Replica_group.replica_id i.member;
+                     tag;
+                     virt_ns = virt;
+                   })
         | _ -> ());
         Sw_vm.Guest.inject i.guest hd.event;
         loop ()
@@ -276,6 +336,16 @@ let on_slice_end t i ~slice_start:_ =
   let now = Machine.local_time t.mach in
   let virt = Sw_vm.Guest.virt_now i.guest in
   Replica_group.note_exit i.group i.member ~now ~virt ~instr:(Sw_vm.Guest.instr i.guest);
+  if trace_on i then
+    emit i
+      (Event.Vm_exit
+         {
+           vm = i.vm_id;
+           replica = Replica_group.replica_id i.member;
+           machine = Machine.id t.mach;
+           virt_ns = virt;
+           instr = Sw_vm.Guest.instr i.guest;
+         });
   deliver_due i
 
 (* --- Disk device model ------------------------------------------------ *)
@@ -304,8 +374,16 @@ let on_disk_request t i ~kind ~bytes ~sequential ~tag =
         is_stopwatch i
         && Time.(Sw_vm.Guest.virt_now i.guest > entry.delivery_virt)
       then begin
-        i.delta_d_violations <- i.delta_d_violations + 1;
-        Replica_group.record_divergence i.group
+        Registry.Counter.incr i.m_delta_d;
+        Replica_group.record_divergence i.group;
+        if trace_on i then
+          emit i
+            (Event.Divergence
+               {
+                 vm = i.vm_id;
+                 replica = Replica_group.replica_id i.member;
+                 kind = Event.Delta_d_violation;
+               })
       end;
       i.disk_waiting <- List.filter (fun e -> e.tag <> entry.tag) i.disk_waiting;
       insert_pending i
@@ -326,8 +404,16 @@ let on_dma_request t i ~bytes ~tag =
   let delivery_virt = Time.add virt_issue offset in
   Machine.dma_execute t.mach ~bytes (fun () ->
       if is_stopwatch i && Time.(Sw_vm.Guest.virt_now i.guest > delivery_virt) then begin
-        i.delta_d_violations <- i.delta_d_violations + 1;
-        Replica_group.record_divergence i.group
+        Registry.Counter.incr i.m_delta_d;
+        Replica_group.record_divergence i.group;
+        if trace_on i then
+          emit i
+            (Event.Divergence
+               {
+                 vm = i.vm_id;
+                 replica = Replica_group.replica_id i.member;
+                 kind = Event.Delta_d_violation;
+               })
       end;
       insert_pending i
         {
@@ -346,22 +432,22 @@ let handle_packet t (pkt : Packet.t) =
       | Some gid -> (
           match Hashtbl.find_opt t.mcast_routes gid with
           | Some ep -> Sw_net.Multicast.handle ep pkt
-          | None -> t.unknown <- t.unknown + 1)
-      | None -> t.unknown <- t.unknown + 1)
+          | None -> Registry.Counter.incr t.m_unknown)
+      | None -> Registry.Counter.incr t.m_unknown)
   | Packet.Guest_bound { vm; ingress_seq; inner } -> (
       match Hashtbl.find_opt t.instances vm with
       | Some i -> on_guest_bound i ~ingress_seq ~inner
-      | None -> t.unknown <- t.unknown + 1)
+      | None -> Registry.Counter.incr t.m_unknown)
   | Packet.Proposal { vm; ingress_seq; proposer; virt } -> (
       match Hashtbl.find_opt t.instances vm with
       | Some i -> on_proposal i ~ingress_seq ~proposer ~virt
-      | None -> t.unknown <- t.unknown + 1)
+      | None -> Registry.Counter.incr t.m_unknown)
   | Packet.Epoch_report { vm; replica; epoch; d; r } -> (
       match Hashtbl.find_opt t.instances vm with
       | Some i ->
           Replica_group.receive_report i.group ~at:i.member ~from_replica:replica
             ~epoch ~d ~r
-      | None -> t.unknown <- t.unknown + 1)
+      | None -> Registry.Counter.incr t.m_unknown)
   | _ -> (
       (* Baseline-mode guests receive their traffic directly. *)
       match pkt.Packet.dst with
@@ -369,8 +455,8 @@ let handle_packet t (pkt : Packet.t) =
           match Hashtbl.find_opt t.instances vm with
           | Some i when not (is_stopwatch i) ->
               on_guest_bound i ~ingress_seq:pkt.Packet.seq ~inner:pkt
-          | _ -> t.unknown <- t.unknown + 1)
-      | _ -> t.unknown <- t.unknown + 1)
+          | _ -> Registry.Counter.incr t.m_unknown)
+      | _ -> Registry.Counter.incr t.m_unknown)
 
 (* Rebuild the replica's guest by deterministic replay of its logged
    history (paper footnote 4: recovering a diverged replica). The clone is
@@ -409,7 +495,15 @@ let recover i =
 
 let create mach =
   let t =
-    { mach; instances = Hashtbl.create 8; mcast_routes = Hashtbl.create 8; unknown = 0 }
+    {
+      mach;
+      instances = Hashtbl.create 8;
+      mcast_routes = Hashtbl.create 8;
+      m_unknown =
+        Registry.counter
+          (Engine.metrics (Machine.engine mach))
+          (Printf.sprintf "vmm.%d.unknown_packets" (Machine.id mach));
+    }
   in
   let per_packet = (Machine.config mach).Config.dom0_per_packet in
   (* Every inbound packet's device-model work queues on the machine's Dom0
@@ -494,6 +588,10 @@ let host ?channel ?start t ~group ~app ~peers =
     Sw_vm.Guest.create ~app:(app ()) ~vt ?pit_period:config.Config.pit_period
       ~sinks ()
   in
+  let metrics = Engine.metrics (Machine.engine t.mach) in
+  (* The prefix keys on (machine, vm): each replica of a VM lives on its own
+     machine, so paths stay unique and deterministic. *)
+  let prefix = Printf.sprintf "vmm.%d.vm%d" (Machine.id t.mach) vm_id in
   let i =
     {
       vm_id;
@@ -510,15 +608,18 @@ let host ?channel ?start t ~group ~app ~peers =
       inbound = Hashtbl.create 32;
       pending = [];
       disk_waiting = [];
-      net_deliveries = 0;
-      disk_interrupts = 0;
-      dma_interrupts = 0;
-      delta_d_violations = 0;
+      m_net = Registry.counter metrics (prefix ^ ".net_deliveries");
+      m_disk_irq = Registry.counter metrics (prefix ^ ".disk_interrupts");
+      m_dma_irq = Registry.counter metrics (prefix ^ ".dma_interrupts");
+      m_delta_d = Registry.counter metrics (prefix ^ ".delta_d_violations");
       channel = None;
       last_net_virt = None;
       inter_delivery = Sw_sim.Samples.create ();
+      h_inter = Registry.histogram metrics (prefix ^ ".inter_delivery_ns");
       trace = None;
-      median_sources = Array.make config.Config.replicas 0.;
+      m_median_sources =
+        Array.init config.Config.replicas (fun k ->
+            Registry.sum metrics (Printf.sprintf "%s.median.source.r%d" prefix k));
     }
   in
   instance_holder := Some i;

@@ -43,6 +43,13 @@ val host :
   instance
 
 val instance_of_vm : t -> int -> instance option
+
+(** The registry path prefix this replica's metrics live under:
+    ["vmm.<machine>.vm<vm>"] (e.g. [<prefix>.net_deliveries],
+    [<prefix>.median.source.r<k>]) — for reading them back out of a
+    {!Sw_obs.Snapshot.t}. *)
+val metric_prefix : instance -> string
+
 val vm : instance -> int
 val replica : instance -> int
 val guest : instance -> Sw_vm.Guest.t
@@ -72,10 +79,14 @@ val median_source_counts : instance -> float array
 (** Packets this VMM could not attribute to a hosted guest. *)
 val unknown_packets : t -> int
 
-(** [set_trace i tr] makes the replica emit protocol events (inbound packet
-    buffered, proposal sent/received, median adopted, interrupt injected)
-    into [tr] — used by the Fig. 2 reproduction and by protocol tests. *)
-val set_trace : instance -> Sw_sim.Trace.t -> unit
+(** [set_trace i tr] makes the replica emit typed protocol events
+    ({!Sw_obs.Event.Packet_proposed}, [Median_adopted], [Packet_delivered],
+    [Vm_exit], [Disk_irq]/[Dma_irq], [Divergence]) into [tr] — used by the
+    Fig. 2 reproduction and by protocol tests. Emission is lazy: with no
+    sink attached, or the sink disabled, nothing is allocated or formatted.
+    ([Sw_sim.Trace.t] is an alias of [Sw_obs.Trace.t], so sinks from either
+    API work.) *)
+val set_trace : instance -> Sw_obs.Trace.t -> unit
 
 (** [rebuild i] reconstructs the replica's guest by deterministic replay of
     its recorded history (requires [Config.replay_log]); the clone's branch

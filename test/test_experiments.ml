@@ -88,6 +88,34 @@ let test_parsec_overhead_correlates_with_interrupts () =
     Alcotest.failf "absolute penalty must scale with interrupts (%f vs %f)" dedup
       ferret
 
+let test_tables_capture () =
+  (* The printers take ?fmt, so output is assertable without scraping
+     stdout. *)
+  let module Tables = Sw_experiments.Tables in
+  let buf = Buffer.create 128 in
+  let fmt = Format.formatter_of_buffer buf in
+  Tables.row ~fmt ~width:6 [ "a"; "bb" ];
+  Tables.header ~fmt ~width:4 [ "x" ];
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  if not (String.length out > 0 && String.contains out 'a') then
+    Alcotest.fail "row output missing";
+  (* Header underlines with dashes. *)
+  if not (String.contains out '-') then Alcotest.fail "header rule missing";
+  (* Default formatter still works (smoke; goes to stdout). *)
+  Tables.subsection "capture check"
+
+let test_outcome_metrics_snapshot () =
+  (* Experiment outcomes expose the cloud's metrics snapshot; the bespoke
+     counters they used to carry are now served from it. *)
+  let o = Nb.run ~stopwatch:true ~rate_per_s:50. ~ops:40 () in
+  let m = o.Nb.metrics in
+  if Sw_obs.Snapshot.is_empty m then Alcotest.fail "metrics snapshot empty";
+  Alcotest.(check bool) "sim event counter present" true
+    (Sw_obs.Snapshot.counter m "sim.events.fired" > 0);
+  Alcotest.(check bool) "network deliveries present" true
+    (Sw_obs.Snapshot.counter m "net.delivered" > 0)
+
 let () =
   Alcotest.run "sw_experiments"
     [
@@ -101,6 +129,13 @@ let () =
         ] );
       ( "nfs",
         [ Alcotest.test_case "ratio shape" `Slow test_nfs_ratio_shape ] );
+      ( "observability",
+        [
+          Alcotest.test_case "tables capture via ?fmt" `Quick
+            test_tables_capture;
+          Alcotest.test_case "outcome carries metrics snapshot" `Quick
+            test_outcome_metrics_snapshot;
+        ] );
       ( "parsec",
         [
           Alcotest.test_case "baselines match paper" `Slow

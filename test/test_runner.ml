@@ -315,6 +315,7 @@ let test_bench_file_shape () =
     Report.bench_file ~workers:4 ~wall_s:1.25
       ~timings:[ ("fig5", 1.25) ]
       ~experiments:[ ("fig5", Report.Obj [ ("rows", Report.List []) ]) ]
+      ()
   in
   Alcotest.(check string) "document layout"
     "{\"schema\":\"stopwatch-bench/1\",\"workers\":4,\"experiments\":{\"fig5\":{\"rows\":[]}},\"timing\":{\"total_wall_s\":1.25,\"fig5\":1.25}}"

@@ -278,6 +278,25 @@ let test_trace_ring () =
   let messages = List.map (fun e -> e.Sw_sim.Trace.message) (Sw_sim.Trace.entries tr) in
   Alcotest.(check (list string)) "last 3 kept" [ "3"; "4"; "5" ] messages
 
+let test_trace_iter_fold_shim () =
+  (* The legacy module is a shim over Sw_obs.Trace ([t] is the same type):
+     typed events emitted through sw_obs read back here as rendered
+     strings, and iter/fold agree with entries. *)
+  let tr = Sw_sim.Trace.create () in
+  Sw_sim.Trace.enable tr;
+  Sw_sim.Trace.emit tr ~at:(Time.ms 1) ~label:"legacy" "one";
+  Sw_obs.Trace.emit tr ~at_ns:(Time.ms 2)
+    (Sw_obs.Event.Message { label = "typed"; text = "two" });
+  let n = Sw_sim.Trace.fold (fun acc _ -> acc + 1) 0 tr in
+  Alcotest.(check int) "fold count" 2 n;
+  let labels = ref [] in
+  Sw_sim.Trace.iter tr (fun e -> labels := e.Sw_sim.Trace.label :: !labels);
+  Alcotest.(check (list string)) "iter order (oldest first)"
+    [ "legacy"; "typed" ] (List.rev !labels);
+  Alcotest.(check (list string)) "entries agree with iter"
+    [ "one"; "two" ]
+    (List.map (fun e -> e.Sw_sim.Trace.message) (Sw_sim.Trace.entries tr))
+
 let () =
   Alcotest.run "sw_sim"
     [
@@ -324,5 +343,7 @@ let () =
         [
           Alcotest.test_case "disabled is noop" `Quick test_trace_disabled_noop;
           Alcotest.test_case "ring keeps most recent" `Quick test_trace_ring;
+          Alcotest.test_case "iter/fold over the sw_obs shim" `Quick
+            test_trace_iter_fold_shim;
         ] );
     ]

@@ -137,7 +137,7 @@ let test_median_time () =
       ignore (Rg.median_time [| Time.ms 1; Time.ms 2 |]))
 
 let test_skew_blocks_fastest () =
-  let group = Rg.create ~vm:0 ~config:Config.default ~mode:Rg.Stopwatch in
+  let group = Rg.create ~vm:0 ~config:Config.default ~mode:Rg.Stopwatch () in
   let woken = ref 0 in
   let m0 = add_member group ~machine:0 in
   let m1 = add_member group ~machine:1 in
@@ -154,7 +154,7 @@ let test_skew_blocks_fastest () =
   Alcotest.(check int) "woken once" 1 !woken
 
 let test_skew_ties_do_not_block () =
-  let group = Rg.create ~vm:0 ~config:Config.default ~mode:Rg.Stopwatch in
+  let group = Rg.create ~vm:0 ~config:Config.default ~mode:Rg.Stopwatch () in
   let m0 = add_member group ~machine:0 in
   let m1 = add_member group ~machine:1 in
   let m2 = add_member group ~machine:2 in
@@ -168,7 +168,7 @@ let test_skew_ties_do_not_block () =
 
 let test_baseline_mode_inert () =
   let config = { Config.default with Config.replicas = 1 } in
-  let group = Rg.create ~vm:0 ~config ~mode:Rg.Baseline in
+  let group = Rg.create ~vm:0 ~config ~mode:Rg.Baseline () in
   let m0 = add_member group ~machine:0 in
   Rg.note_exit group m0 ~now:(Time.ms 1) ~virt:(Time.ms 99) ~instr:1L;
   Alcotest.(check bool) "never blocked" false (Rg.blocked group m0)
@@ -181,7 +181,7 @@ let epoch_config =
   }
 
 let test_epoch_resolution () =
-  let group = Rg.create ~vm:0 ~config:epoch_config ~mode:Rg.Stopwatch in
+  let group = Rg.create ~vm:0 ~config:epoch_config ~mode:Rg.Stopwatch () in
   let applied = ref [] in
   let sent = ref [] in
   let mk machine =
@@ -234,7 +234,7 @@ let test_epoch_resolution () =
 let test_epoch_out_of_order_reports () =
   (* A fast peer's epoch-1 report arriving while we are still in epoch 0 must
      be buffered, not dropped. *)
-  let group = Rg.create ~vm:0 ~config:epoch_config ~mode:Rg.Stopwatch in
+  let group = Rg.create ~vm:0 ~config:epoch_config ~mode:Rg.Stopwatch () in
   let m0 = add_member group ~machine:0 in
   let _m1 = add_member group ~machine:1 in
   let _m2 = add_member group ~machine:2 in
@@ -246,14 +246,14 @@ let test_epoch_out_of_order_reports () =
   Alcotest.(check int) "nothing resolved" 0 (Rg.epochs_resolved group)
 
 let test_divergence_counter () =
-  let group = Rg.create ~vm:0 ~config:Config.default ~mode:Rg.Stopwatch in
+  let group = Rg.create ~vm:0 ~config:Config.default ~mode:Rg.Stopwatch () in
   Alcotest.(check int) "zero" 0 (Rg.divergences group);
   Rg.record_divergence group;
   Rg.record_divergence group;
   Alcotest.(check int) "counted" 2 (Rg.divergences group)
 
 let test_group_full () =
-  let group = Rg.create ~vm:0 ~config:Config.default ~mode:Rg.Stopwatch in
+  let group = Rg.create ~vm:0 ~config:Config.default ~mode:Rg.Stopwatch () in
   ignore (add_member group ~machine:0);
   ignore (add_member group ~machine:1);
   ignore (add_member group ~machine:2);
