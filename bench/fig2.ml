@@ -35,5 +35,8 @@ let run () =
       | Event.Span_end _ ->
           Format.printf "%a@." Trace.pp_entry entry
       | Event.Vm_exit _ | Event.Disk_irq _ | Event.Dma_irq _ | Event.Message _
-        ->
+      | Event.Fault_injected _ | Event.Fault_cleared _
+      | Event.Fault_replica_crash _ | Event.Fault_replica_restart _
+      | Event.Degrade_suspected _ | Event.Degrade_ejected _
+      | Event.Degrade_reintegrated _ ->
           ())

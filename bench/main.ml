@@ -2,10 +2,11 @@
    evaluation (see DESIGN.md's per-experiment index), plus ablations and
    bechamel micro-benchmarks.
 
-   Usage: main.exe [-j N] [experiment ...]
+   Usage: main.exe [-j N] [-quick] [experiment ...]
    where experiment is one of fig1 fig2 fig4 fig5 fig6 fig7 fig8 placement
-   utilization theorems collusion ablation scale micro quick, or nothing /
-   "all" for everything except quick.
+   utilization theorems collusion ablation scale micro chaos quick, or
+   nothing / "all" for everything except chaos and quick. [-quick] shrinks
+   the chaos sweep to its CI smoke form.
 
    -j / --jobs N shards each experiment's independent simulations across N
    worker domains via sw_runner; results are identical to -j 1 (per-job
@@ -28,11 +29,13 @@ let experiments =
     ("ablation", fun ~pool -> Bench_ablation.run ?pool ());
     ("scale", fun ~pool:_ -> Bench_scale.run ());
     ("micro", fun ~pool:_ -> Bench_micro.run ());
+    ("chaos", fun ~pool -> Bench_chaos.run ?pool ());
     ("quick", fun ~pool -> Bench_quick.run ?pool ());
   ]
 
 let default_set =
-  List.filter (fun (name, _) -> name <> "quick") experiments |> List.map fst
+  List.filter (fun (name, _) -> name <> "quick" && name <> "chaos") experiments
+  |> List.map fst
 
 let usage () =
   Printf.eprintf "usage: main.exe [-j N] [experiment ...]\navailable: %s\n"
@@ -55,6 +58,9 @@ let parse_args () =
     | ("-j" | "--jobs") :: [] ->
         Printf.eprintf "-j expects a worker count\n";
         exit 2
+    | ("-quick" | "--quick") :: rest ->
+        Bench_chaos.quick := true;
+        go rest
     | name :: rest ->
         names := name :: !names;
         go rest

@@ -14,6 +14,7 @@ type spec = {
   duration : Time.t;
   seed : int64;
   background_rate_per_s : float;
+  faults : Sw_fault.Schedule.t;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     duration = Time.s 60;
     seed = 0xA77ACCL;
     background_rate_per_s = 0.;
+    faults = Sw_fault.Schedule.empty;
   }
 
 let with_replicas spec m =
@@ -82,6 +84,8 @@ let run spec =
   end;
   if spec.background_rate_per_s > 0. then
     Cloud.start_background cloud ~rate_per_s:spec.background_rate_per_s ();
+  if spec.faults <> Sw_fault.Schedule.empty then
+    ignore (Cloud.install_faults cloud spec.faults);
   (* Poisson ping stream toward the attacker VM. *)
   let rng = Sw_sim.Prng.create (Int64.add spec.seed 17L) in
   let attacker_addr = Cloud.vm_address attacker in

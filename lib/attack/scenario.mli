@@ -21,6 +21,10 @@ type spec = {
   duration : Sw_sim.Time.t;
   seed : int64;
   background_rate_per_s : float;  (** ARP-like broadcast noise; 0 disables. *)
+  faults : Sw_fault.Schedule.t;
+      (** Deterministic fault schedule installed against the scenario's
+          cloud before it runs; {!Sw_fault.Schedule.empty} (the default)
+          disables injection entirely. *)
 }
 
 val default : spec

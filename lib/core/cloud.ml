@@ -6,6 +6,7 @@ type deployment = {
   vm : int;
   group : Sw_vmm.Replica_group.t;
   instances : (int * Sw_vmm.Vmm.instance) list;  (** (machine id, instance) *)
+  watchdog : Sw_vmm.Watchdog.t option;
 }
 
 type t = {
@@ -57,7 +58,9 @@ let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
     machines = machine_arr;
     vmms;
     ingress = Sw_net.Ingress.create network;
-    egress = Sw_net.Egress.create network;
+    egress =
+      Sw_net.Egress.create
+        ?vote_expiry:config.Sw_vmm.Config.egress_vote_expiry network;
     rng = Engine.rng engine;
     next_vm = 0;
     next_host = 0;
@@ -105,6 +108,7 @@ let deploy ?config t ~on ~app =
     Sw_net.Multicast.group t.network
       ~members:(Address.Ingress :: List.map (fun m -> Address.Vmm m) on)
       ~nak_delay:config.Sw_vmm.Config.mcast_nak_delay
+      ~nak_retries:config.Sw_vmm.Config.mcast_nak_retries
       ?heartbeat:config.Sw_vmm.Config.mcast_heartbeat ()
   in
   (* Start negotiation (Sec. IV-A): the hosting VMMs exchange their clock
@@ -127,7 +131,28 @@ let deploy ?config t ~on ~app =
   Sw_net.Ingress.register_vm ~channel t.ingress ~vm
     ~replica_vmms:(List.map (fun m -> Address.Vmm m) on);
   Sw_net.Egress.register_vm t.egress ~vm ~replicas:config.Sw_vmm.Config.replicas;
-  let d = { vm; group; instances } in
+  (* Degradation keeps the edge nodes in step with the group: the egress
+     releases at the majority of the current quorum (not of the original m),
+     and a unicast ingress stops replicating toward ejected members. *)
+  Sw_vmm.Replica_group.on_membership_change group (fun () ->
+      let q = Sw_vmm.Replica_group.quorum group in
+      if q > 0 then Sw_net.Egress.set_replicas t.egress ~vm ~replicas:q;
+      let live_vmms =
+        List.filter_map
+          (fun (m, inst) ->
+            if Sw_vmm.Replica_group.active (Sw_vmm.Vmm.member inst) then
+              Some (Address.Vmm m)
+            else None)
+          instances
+      in
+      if live_vmms <> [] then
+        Sw_net.Ingress.set_replica_vmms t.ingress ~vm ~replica_vmms:live_vmms);
+  let watchdog =
+    match config.Sw_vmm.Config.watchdog with
+    | None -> None
+    | Some _ -> Some (Sw_vmm.Watchdog.create t.engine group)
+  in
+  let d = { vm; group; instances; watchdog } in
   t.deployments <- d :: t.deployments;
   d
 
@@ -144,7 +169,7 @@ let deploy_baseline ?config t ~on ~app =
   let instance = Sw_vmm.Vmm.host t.vmms.(on) ~group ~app ~peers:[] in
   (* Baseline traffic routes straight to the hosting machine. *)
   Sw_net.Network.set_route t.network ~dst:(Address.Vm vm) ~via:(Address.Vmm on);
-  let d = { vm; group; instances = [ (on, instance) ] } in
+  let d = { vm; group; instances = [ (on, instance) ]; watchdog = None } in
   t.deployments <- d :: t.deployments;
   d
 
@@ -166,6 +191,7 @@ let replica_on d ~machine =
   List.assoc_opt machine d.instances
 
 let group d = d.group
+let watchdog d = d.watchdog
 let divergences d = Sw_vmm.Replica_group.divergences d.group
 let skew_blocks d = Sw_vmm.Replica_group.skew_blocks d.group
 
@@ -196,3 +222,57 @@ let start_background t ~rate_per_s ?(size = 64) () =
 
 let run t ~until = Engine.run ~until t.engine
 let run_span t span = Engine.run ~until:(Time.add (Engine.now t.engine) span) t.engine
+
+(* --- Fault injection --------------------------------------------------- *)
+
+let find_deployment t ~vm = List.find_opt (fun d -> d.vm = vm) t.deployments
+
+let instance_of t ~vm ~replica =
+  match find_deployment t ~vm with
+  | None -> None
+  | Some d ->
+      List.find_map
+        (fun (_, i) ->
+          if Sw_vmm.Replica_group.replica_id (Sw_vmm.Vmm.member i) = replica
+          then Some i
+          else None)
+        d.instances
+
+(* Restart hook for [Fault.Replica_crash]: rebuild the crashed replica from
+   any live peer and reinstate it. A no-op when nothing can be done — no
+   deployment, replica already live, no survivor to resync from, or no
+   replay log to rebuild the guest with. *)
+let restart_replica t ~vm ~replica =
+  match (find_deployment t ~vm, instance_of t ~vm ~replica) with
+  | Some d, Some i
+    when Sw_vmm.Vmm.crashed i
+         && (Sw_vmm.Replica_group.config d.group).Sw_vmm.Config.replay_log -> (
+      let survivor =
+        List.find_map
+          (fun (_, j) ->
+            if
+              (not (Sw_vmm.Vmm.crashed j))
+              && Sw_vmm.Replica_group.active (Sw_vmm.Vmm.member j)
+            then Some j
+            else None)
+          d.instances
+      in
+      match survivor with
+      | Some from -> Sw_vmm.Vmm.reintegrate i ~from
+      | None -> ())
+  | _ -> ()
+
+let install_faults ?trace t schedule =
+  let env =
+    {
+      Sw_fault.Injector.engine = t.engine;
+      network = t.network;
+      machine_of =
+        (fun m ->
+          if m >= 0 && m < Array.length t.machines then Some t.machines.(m)
+          else None);
+      instance_of = (fun ~vm ~replica -> instance_of t ~vm ~replica);
+      restart = (fun ~vm ~replica -> restart_replica t ~vm ~replica);
+    }
+  in
+  Sw_fault.Injector.install ?trace env schedule

@@ -78,6 +78,11 @@ val replica_on : deployment -> machine:int -> Sw_vmm.Vmm.instance option
 
 val group : deployment -> Sw_vmm.Replica_group.t
 
+(** The deployment's liveness watchdog — present iff the deploying config
+    had [Config.watchdog] set (StopWatch deployments only; baselines never
+    run one). *)
+val watchdog : deployment -> Sw_vmm.Watchdog.t option
+
 (** Synchrony violations recorded for this VM (paper footnote 4). *)
 val divergences : deployment -> int
 
@@ -89,6 +94,16 @@ val add_host : t -> ?link:Sw_net.Network.link_params -> unit -> Host.t
     ingress exactly like guest traffic, as in the paper's testbed). Runs for
     the rest of the simulation. *)
 val start_background : t -> rate_per_s:float -> ?size:int -> unit -> unit
+
+(** [install_faults ?trace t schedule] arms a deterministic fault schedule
+    against this cloud (see {!Sw_fault.Schedule}): every window becomes an
+    engine event, machines and replicas are resolved by id, and a
+    [Replica_crash] with [restart_after] is restarted by resyncing from a
+    live peer ({!Sw_vmm.Vmm.reintegrate} — requires [Config.replay_log];
+    without it, or without a survivor, the restart silently stays down).
+    Call after the relevant deployments exist. *)
+val install_faults :
+  ?trace:Sw_obs.Trace.t -> t -> Sw_fault.Schedule.t -> Sw_fault.Injector.t
 
 (** [run t ~until] advances the simulation. *)
 val run : t -> until:Sw_sim.Time.t -> unit

@@ -1,5 +1,5 @@
 type vm_entry = {
-  replicas : int;
+  mutable replicas : int;
   (* Copies received so far and a structural digest of the first copy,
      keyed by the guest's deterministic packet sequence number. *)
   pending : (int, int * int) Hashtbl.t;
@@ -8,11 +8,32 @@ type vm_entry = {
 type t = {
   network : Network.t;
   vms : (int, vm_entry) Hashtbl.t;
+  vote_expiry : Sw_sim.Time.t option;
   m_forwarded : Sw_obs.Registry.Counter.t;
   m_dropped : Sw_obs.Registry.Counter.t;
   m_mismatches : Sw_obs.Registry.Counter.t;
+  m_expired : Sw_obs.Registry.Counter.t;
   mutable tap : (vm:int -> Packet.t -> Sw_sim.Time.t -> unit) option;
 }
+
+(* Copies beyond the (m+1)/2-th only serve to retire the vote entry. The
+   expiry timer is armed when the first copy creates the entry, so an entry
+   that never completes — tail copies lost to tunnel faults, or a crashed
+   replica that never sends them, or one that never even releases — is
+   reclaimed after [vote_expiry] instead of held for the lifetime of the
+   run. *)
+let schedule_expiry t entry key =
+  match t.vote_expiry with
+  | None -> ()
+  | Some span ->
+      let engine = Network.engine t.network in
+      ignore
+        (Sw_sim.Engine.schedule_after ~kind:"egress.expire" engine span
+           (fun () ->
+             if Hashtbl.mem entry.pending key then begin
+               Hashtbl.remove entry.pending key;
+               Sw_obs.Registry.Counter.incr t.m_expired
+             end))
 
 let handle t (pkt : Packet.t) =
   match pkt.Packet.payload with
@@ -34,6 +55,8 @@ let handle t (pkt : Packet.t) =
           let release_rank = (entry.replicas + 1) / 2 in
           if seen >= entry.replicas then Hashtbl.remove entry.pending key
           else Hashtbl.replace entry.pending key (seen, first_digest);
+          if seen = 1 && seen < entry.replicas then
+            schedule_expiry t entry key;
           if seen = release_rank then begin
             Sw_obs.Registry.Counter.incr t.m_forwarded;
             (match t.tap with
@@ -43,28 +66,50 @@ let handle t (pkt : Packet.t) =
           end)
   | _ -> Sw_obs.Registry.Counter.incr t.m_dropped
 
-let create network =
+let create ?vote_expiry network =
   let metrics = Sw_sim.Engine.metrics (Network.engine network) in
   let t =
     {
       network;
       vms = Hashtbl.create 16;
+      vote_expiry;
       m_forwarded = Sw_obs.Registry.counter metrics "net.egress.forwarded";
       m_dropped = Sw_obs.Registry.counter metrics "net.egress.dropped";
       m_mismatches = Sw_obs.Registry.counter metrics "net.egress.mismatches";
+      m_expired = Sw_obs.Registry.counter metrics "net.egress.expired_votes";
       tap = None;
     }
   in
   Network.register network Address.Egress (handle t);
   t
 
-let register_vm t ~vm ~replicas =
+let check_replicas ~fn replicas =
   if replicas < 1 || replicas mod 2 = 0 then
-    invalid_arg "Egress.register_vm: replica count must be odd and positive";
+    invalid_arg (fn ^ ": replica count must be odd and positive")
+
+let register_vm t ~vm ~replicas =
+  check_replicas ~fn:"Egress.register_vm" replicas;
   Hashtbl.replace t.vms vm { replicas; pending = Hashtbl.create 64 }
+
+(* Degradation support: when the replica group ejects members, the egress
+   must vote over the new quorum size or it would wait forever for copies
+   from dead replicas. Entries created before the change keep whatever
+   release decision they already made; incomplete ones fall to the expiry
+   sweep. *)
+let set_replicas t ~vm ~replicas =
+  check_replicas ~fn:"Egress.set_replicas" replicas;
+  match Hashtbl.find_opt t.vms vm with
+  | None -> invalid_arg "Egress.set_replicas: unknown vm"
+  | Some entry -> entry.replicas <- replicas
+
+let pending_votes t ~vm =
+  match Hashtbl.find_opt t.vms vm with
+  | None -> 0
+  | Some entry -> Hashtbl.length entry.pending
 
 let unregister_vm t ~vm = Hashtbl.remove t.vms vm
 let forwarded t = Sw_obs.Registry.Counter.value t.m_forwarded
 let dropped t = Sw_obs.Registry.Counter.value t.m_dropped
 let mismatches t = Sw_obs.Registry.Counter.value t.m_mismatches
+let expired_votes t = Sw_obs.Registry.Counter.value t.m_expired
 let on_forward t f = t.tap <- Some f

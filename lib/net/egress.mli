@@ -8,14 +8,29 @@ type t
 (** Creates the node and registers it at {!Address.Egress}.
 
     Memory note: a packet's vote entry is retired when all m copies have
-    arrived; under sustained tunnel loss the entries of incomplete packets
-    accumulate for the lifetime of the run (the tunnels are reliable in the
-    paper — TCP — so loss there is an experiment-only condition). *)
-val create : Network.t -> t
+    arrived. With [vote_expiry] set, an entry is additionally retired
+    [vote_expiry] after its first copy created it, whether or not it ever
+    reached the release rank — so under sustained tunnel loss or a crashed
+    replica the vote table holds only the entries younger than the expiry
+    span; retirements are counted in [net.egress.expired_votes]. Without it
+    (the default), incomplete entries accumulate for the lifetime of the run
+    (the tunnels are reliable in the paper — TCP — so loss there is an
+    experiment-only condition). *)
+val create : ?vote_expiry:Sw_sim.Time.t -> Network.t -> t
 
 (** [register_vm t ~vm ~replicas] declares the replica count of [vm]
     (odd). *)
 val register_vm : t -> vm:int -> replicas:int -> unit
+
+(** [set_replicas t ~vm ~replicas] changes the voting population of an
+    already-registered VM — called when its replica group degrades to a
+    smaller quorum (or recovers). Entries already released under the old
+    population are left to complete or expire. *)
+val set_replicas : t -> vm:int -> replicas:int -> unit
+
+(** Number of in-flight vote entries held for [vm] (test observability —
+    the boundedness property under loss asserts on this). *)
+val pending_votes : t -> vm:int -> int
 
 val unregister_vm : t -> vm:int -> unit
 
@@ -31,6 +46,10 @@ val dropped : t -> int
     divergence (the vote of Sec. II / the deterministic-output property of
     Sec. VI). *)
 val mismatches : t -> int
+
+(** Vote entries retired by the [vote_expiry] timeout before all copies
+    arrived. *)
+val expired_votes : t -> int
 
 (** [on_forward t f] installs a tap invoked with (vm, packet, real release
     time) at each forward — used by external-observer experiments. *)

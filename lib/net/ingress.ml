@@ -1,5 +1,5 @@
 type vm_entry = {
-  replica_vmms : Address.t list;
+  mutable replica_vmms : Address.t list;
   mutable next_ingress_seq : int;
   channel : Multicast.endpoint option;
 }
@@ -77,6 +77,15 @@ let register_vm ?channel t ~vm ~replica_vmms =
   Hashtbl.replace t.vms vm
     { replica_vmms; next_ingress_seq = 0; channel = endpoint };
   Network.set_route t.network ~dst:(Address.Vm vm) ~via:Address.Ingress
+
+(* Degradation support for unicast mode: stop copying to ejected VMMs (on a
+   multicast channel copies keep flowing group-wide; dead members just never
+   read them). *)
+let set_replica_vmms t ~vm ~replica_vmms =
+  if replica_vmms = [] then invalid_arg "Ingress.set_replica_vmms: no replicas";
+  match Hashtbl.find_opt t.vms vm with
+  | None -> invalid_arg "Ingress.set_replica_vmms: unknown vm"
+  | Some entry -> entry.replica_vmms <- replica_vmms
 
 let unregister_vm t ~vm =
   Hashtbl.remove t.vms vm;

@@ -16,6 +16,12 @@ val create : Network.t -> t
 val register_vm :
   ?channel:Multicast.group -> t -> vm:int -> replica_vmms:Address.t list -> unit
 
+(** [set_replica_vmms t ~vm ~replica_vmms] replaces the unicast replication
+    target list — used when the VM's replica group ejects or reintegrates a
+    member. No effect on multicast-channel replication, which is group-wide
+    by construction. *)
+val set_replica_vmms : t -> vm:int -> replica_vmms:Address.t list -> unit
+
 val unregister_vm : t -> vm:int -> unit
 
 (** Packets arriving for VMs the ingress does not know. *)

@@ -23,14 +23,21 @@ type group = {
   group_id : int;
   members : Address.t list;
   nak_delay : Time.t;
+  nak_retries : int;
   heartbeat : Time.t option;
 }
 
-(* Per-sender receive state at one endpoint. *)
+(* Per-sender receive state at one endpoint. NAK recovery is a bounded
+   retry loop: one outstanding cycle per sender, exponential backoff between
+   attempts, and after [nak_retries] re-sends of the same leading gap the
+   gap is abandoned (skipped over) so a permanently lost packet cannot stall
+   the receiver forever. *)
 type rx = {
   mutable next_expected : int;
   buffered : (int, Packet.t) Hashtbl.t;
-  mutable nak_pending : bool;
+  mutable nak_attempt : int;  (** 0 = no cycle outstanding; else attempt #. *)
+  mutable nak_at : int;  (** [next_expected] when the current gap was first NAKed. *)
+  mutable nak_through : int;  (** Highest mseq known to exist from this sender. *)
 }
 
 type endpoint = {
@@ -42,11 +49,14 @@ type endpoint = {
   history : (int, Packet.t) Hashtbl.t;
   mutable next_mseq : int;
   rx_states : (Address.t, rx) Hashtbl.t;
+  mutable partitioned : bool;
   (* Metric paths key on the member's address, not the group id: group ids
      come from a cross-domain atomic counter, so using them would make
      snapshot contents depend on worker scheduling. *)
   m_retransmissions : Sw_obs.Registry.Counter.t;
   m_naks : Sw_obs.Registry.Counter.t;
+  m_abandoned : Sw_obs.Registry.Counter.t;
+  m_partition_drops : Sw_obs.Registry.Counter.t;
 }
 
 (* Atomic: clouds on different domains allocate groups concurrently, and a
@@ -54,21 +64,29 @@ type endpoint = {
    distinct, so cross-domain allocation order doesn't affect determinism. *)
 let group_counter = Atomic.make 0
 
-let group network ~members ?(nak_delay = Time.us 200) ?heartbeat () =
+let group network ~members ?(nak_delay = Time.us 200) ?(nak_retries = 5)
+    ?heartbeat () =
   if List.length members < 2 then invalid_arg "Multicast.group: need >= 2 members";
+  if nak_retries < 1 then invalid_arg "Multicast.group: nak_retries must be >= 1";
   { network;
     group_id = 1 + Atomic.fetch_and_add group_counter 1;
-    members; nak_delay; heartbeat }
+    members; nak_delay; nak_retries; heartbeat }
 
 let group_id g = g.group_id
 
 let peers e = List.filter (fun a -> not (Address.equal a e.self)) e.g.members
 
+(* All outgoing traffic funnels through here so a partition window can cut
+   the endpoint off in one place. *)
+let xmit e pkt =
+  if e.partitioned then Sw_obs.Registry.Counter.incr e.m_partition_drops
+  else e.transmit pkt
+
 let send_to e ~dst ~size payload =
   let pkt =
     Packet.make ~src:e.self ~dst ~size ~seq:(Network.fresh_seq e.g.network) payload
   in
-  e.transmit pkt
+  xmit e pkt
 
 let start_heartbeat e period =
   let engine = Network.engine e.g.network in
@@ -102,12 +120,19 @@ let endpoint g ~self ?transmit ~deliver () =
       history = Hashtbl.create 64;
       next_mseq = 0;
       rx_states = Hashtbl.create 8;
+      partitioned = false;
       m_retransmissions =
         Sw_obs.Registry.counter metrics
           (Printf.sprintf "net.mcast.%s.retransmissions" addr);
       m_naks =
         Sw_obs.Registry.counter metrics
           (Printf.sprintf "net.mcast.%s.naks" addr);
+      m_abandoned =
+        Sw_obs.Registry.counter metrics
+          (Printf.sprintf "net.mcast.%s.gaps_abandoned" addr);
+      m_partition_drops =
+        Sw_obs.Registry.counter metrics
+          (Printf.sprintf "net.mcast.%s.partition_drops" addr);
     }
   in
   Option.iter (start_heartbeat e) g.heartbeat;
@@ -124,14 +149,17 @@ let publish e ~size payload =
           wrapped
       in
       Hashtbl.replace e.history mseq pkt;
-      e.transmit pkt)
+      xmit e pkt)
     (peers e)
 
 let rx_state e origin =
   match Hashtbl.find_opt e.rx_states origin with
   | Some rx -> rx
   | None ->
-      let rx = { next_expected = 0; buffered = Hashtbl.create 8; nak_pending = false } in
+      let rx =
+        { next_expected = 0; buffered = Hashtbl.create 8;
+          nak_attempt = 0; nak_at = 0; nak_through = -1 }
+      in
       Hashtbl.add e.rx_states origin rx;
       rx
 
@@ -145,15 +173,49 @@ let rec flush e rx =
       e.deliver pkt;
       flush e rx
 
-let request_missing e origin rx ~through =
-  if (not rx.nak_pending) && rx.next_expected <= through then begin
-    rx.nak_pending <- true;
-    let engine = Network.engine e.g.network in
-    ignore
-      (Engine.schedule_after engine e.g.nak_delay (fun () ->
-           rx.nak_pending <- false;
-           (* Re-check: the gap may have been filled meanwhile. *)
-           if rx.next_expected <= through then begin
+(* Give up on the leading gap: skip [next_expected] forward to the smallest
+   buffered mseq (or just past the known high-water mark if nothing is
+   buffered) and flush. Late retransmissions of the skipped mseqs then land
+   in the ordinary duplicate path. *)
+let abandon_gap e rx =
+  Sw_obs.Registry.Counter.incr e.m_abandoned;
+  let smallest =
+    Hashtbl.fold
+      (fun mseq _ acc ->
+        match acc with Some m when m <= mseq -> acc | _ -> Some mseq)
+      rx.buffered None
+  in
+  (match smallest with
+  | Some m -> rx.next_expected <- m
+  | None -> rx.next_expected <- rx.nak_through + 1);
+  flush e rx
+
+(* One NAK cycle per sender: attempt [k] fires after nak_delay * 2^(k-1).
+   Filling the gap before the timer fires parks the cycle; filling it
+   partially (the leading edge advanced) resets the retry budget for the new
+   leading gap. After [nak_retries] re-sends with no progress the gap is
+   abandoned rather than retried forever. *)
+let rec nak_cycle e origin rx =
+  let engine = Network.engine e.g.network in
+  let delay = Time.mul_int e.g.nak_delay (1 lsl min (rx.nak_attempt - 1) 16) in
+  ignore
+    (Engine.schedule_after engine delay (fun () ->
+         if rx.next_expected > rx.nak_through then rx.nak_attempt <- 0
+         else begin
+           if rx.next_expected > rx.nak_at then begin
+             rx.nak_at <- rx.next_expected;
+             rx.nak_attempt <- 1
+           end;
+           if rx.nak_attempt > e.g.nak_retries then begin
+             abandon_gap e rx;
+             if rx.next_expected <= rx.nak_through then begin
+               rx.nak_attempt <- 1;
+               rx.nak_at <- rx.next_expected;
+               nak_cycle e origin rx
+             end
+             else rx.nak_attempt <- 0
+           end
+           else begin
              Sw_obs.Registry.Counter.incr e.m_naks;
              send_to e ~dst:origin ~size:64
                (Mcast_nak
@@ -161,15 +223,27 @@ let request_missing e origin rx ~through =
                     group = e.g.group_id;
                     origin;
                     from_mseq = rx.next_expected;
-                    to_mseq = through;
-                  })
-           end))
+                    to_mseq = rx.nak_through;
+                  });
+             rx.nak_attempt <- rx.nak_attempt + 1;
+             nak_cycle e origin rx
+           end
+         end))
+
+let request_missing e origin rx ~through =
+  if through > rx.nak_through then rx.nak_through <- through;
+  if rx.nak_attempt = 0 && rx.next_expected <= rx.nak_through then begin
+    rx.nak_attempt <- 1;
+    rx.nak_at <- rx.next_expected;
+    nak_cycle e origin rx
   end
 
 let unwrap_data (pkt : Packet.t) ~mseq ~inner =
   { pkt with Packet.payload = inner; seq = mseq }
 
 let handle e (pkt : Packet.t) =
+  if e.partitioned then Sw_obs.Registry.Counter.incr e.m_partition_drops
+  else
   match pkt.payload with
   | Mcast_data { group; mseq; inner } ->
       if group <> e.g.group_id then ()
@@ -195,7 +269,7 @@ let handle e (pkt : Packet.t) =
                 Packet.make ~src:e.self ~dst:pkt.src ~size:original.Packet.size
                   ~seq:(Network.fresh_seq e.g.network) original.Packet.payload
               in
-              e.transmit pkt'
+              xmit e pkt'
         done
   | Mcast_heartbeat { group; last_mseq } ->
       if group <> e.g.group_id then ()
@@ -208,3 +282,7 @@ let handle e (pkt : Packet.t) =
 
 let retransmissions e = Sw_obs.Registry.Counter.value e.m_retransmissions
 let naks_sent e = Sw_obs.Registry.Counter.value e.m_naks
+let gaps_abandoned e = Sw_obs.Registry.Counter.value e.m_abandoned
+let partition_drops e = Sw_obs.Registry.Counter.value e.m_partition_drops
+let set_partitioned e on = e.partitioned <- on
+let partitioned e = e.partitioned

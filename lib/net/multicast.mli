@@ -11,14 +11,19 @@ type endpoint
 
 type group
 
-(** [group network ~members ?nak_delay ?heartbeat ()] declares a group over
-    the given member addresses. [nak_delay] (default 200 us) is how long a
-    receiver waits before NAKing a detected gap; [heartbeat] (default none)
-    enables periodic sender heartbeats with that period. *)
+(** [group network ~members ?nak_delay ?nak_retries ?heartbeat ()] declares a
+    group over the given member addresses. [nak_delay] (default 200 us) is how
+    long a receiver waits before NAKing a detected gap; retries of the same
+    gap back off exponentially ([nak_delay * 2^(k-1)] before attempt [k]) and
+    after [nak_retries] (default 5) unanswered NAKs the gap is abandoned —
+    the receiver skips past it rather than stalling forever, counted in
+    [net.mcast.<addr>.gaps_abandoned]. [heartbeat] (default none) enables
+    periodic sender heartbeats with that period. *)
 val group :
   Network.t ->
   members:Address.t list ->
   ?nak_delay:Sw_sim.Time.t ->
+  ?nak_retries:int ->
   ?heartbeat:Sw_sim.Time.t ->
   unit ->
   group
@@ -61,3 +66,18 @@ val retransmissions : endpoint -> int
 
 (** Number of NAKs this endpoint has sent. *)
 val naks_sent : endpoint -> int
+
+(** Number of gaps this endpoint has abandoned after exhausting NAK retries. *)
+val gaps_abandoned : endpoint -> int
+
+(** [set_partitioned e on] cuts the endpoint off from the group (fault
+    injection): while set, every outgoing protocol packet and every incoming
+    [handle]d packet is dropped and counted in
+    [net.mcast.<addr>.partition_drops]. NAK recovery repairs the backlog once
+    the partition heals (tail losses need the group heartbeat). *)
+val set_partitioned : endpoint -> bool -> unit
+
+val partitioned : endpoint -> bool
+
+(** Packets dropped at this endpoint by a partition window. *)
+val partition_drops : endpoint -> int

@@ -21,6 +21,14 @@ type link_state = {
   mutable last_arrival : Time.t;
 }
 
+type disturbance = { extra_loss : float; extra_latency : Time.t }
+
+let combine_disturbance a b =
+  {
+    extra_loss = 1. -. ((1. -. a.extra_loss) *. (1. -. b.extra_loss));
+    extra_latency = Time.add a.extra_latency b.extra_latency;
+  }
+
 module Addr_pair = struct
   type t = Address.t * Address.t
 
@@ -48,9 +56,17 @@ type t = {
   link_states : link_state Pair_tbl.t;
   counters : Registry.Counter.t Pair_tbl.t;
   mutable seq : int;
+  (* Fault-injection state: an optional fabric-wide disturbance plus
+     per-delivery-target disturbances, applied on top of the link's own
+     parameters. Installed and cleared by sw_fault; [None]/empty costs one
+     branch and zero extra RNG draws, so fault-free runs are bit-identical
+     to pre-fault builds. *)
+  mutable fault_all : disturbance option;
+  fault_to : disturbance Addr_tbl.t;
   m_delivered : Registry.Counter.t;
   m_undeliverable : Registry.Counter.t;
   m_lost : Registry.Counter.t;
+  m_fault_lost : Registry.Counter.t;
 }
 
 let pair_metric ~src ~dst =
@@ -70,9 +86,12 @@ let create engine ~default =
     link_states = Pair_tbl.create 64;
     counters = Pair_tbl.create 64;
     seq = 0;
+    fault_all = None;
+    fault_to = Addr_tbl.create 4;
     m_delivered = Registry.counter metrics "net.delivered";
     m_undeliverable = Registry.counter metrics "net.undeliverable";
     m_lost = Registry.counter metrics "net.lost";
+    m_fault_lost = Registry.counter metrics "net.fault.lost";
   }
 
 let engine t = t.engine
@@ -90,6 +109,18 @@ let set_link t ~src ~dst params =
   Pair_tbl.replace t.link_overrides (src, dst) params
 
 let set_node_link t addr params = Addr_tbl.replace t.node_overrides addr params
+
+let set_fault_all t d = t.fault_all <- d
+
+let set_fault_to t addr = function
+  | Some d -> Addr_tbl.replace t.fault_to addr d
+  | None -> Addr_tbl.remove t.fault_to addr
+
+let disturbance_for t target =
+  match (t.fault_all, Addr_tbl.find_opt t.fault_to target) with
+  | None, None -> None
+  | (Some _ as d), None | None, (Some _ as d) -> d
+  | Some a, Some b -> Some (combine_disturbance a b)
 
 let link_state t pair =
   match Pair_tbl.find_opt t.link_states pair with
@@ -122,8 +153,14 @@ let pair_counter t ((src, dst) as pair) =
 let deliver_via t ~target (pkt : Packet.t) =
   let state = link_state t (pkt.src, target) in
   let p = state.params in
+  let dist = disturbance_for t target in
   if p.loss > 0. && Sw_sim.Prng.float t.rng < p.loss then
     Registry.Counter.incr t.m_lost
+  else if
+    match dist with
+    | Some d when d.extra_loss > 0. -> Sw_sim.Prng.float t.rng < d.extra_loss
+    | _ -> false
+  then Registry.Counter.incr t.m_fault_lost
   else begin
     let now = Engine.now t.engine in
     let serialisation =
@@ -139,10 +176,14 @@ let deliver_via t ~target (pkt : Packet.t) =
       if Time.equal p.jitter Time.zero then Time.zero
       else Time.ns (Sw_sim.Prng.int t.rng (1 + Int64.to_int p.jitter))
     in
+    let extra_latency =
+      match dist with Some d -> d.extra_latency | None -> Time.zero
+    in
     (* A link is one physical pipe: deliveries are FIFO, so jitter may delay
        but never reorder packets within a pair. *)
     let arrive =
-      Time.max state.last_arrival (Time.add depart (Time.add p.latency jitter))
+      Time.max state.last_arrival
+        (Time.add depart (Time.add p.latency (Time.add jitter extra_latency)))
     in
     state.last_arrival <- arrive;
     match Addr_tbl.find_opt t.handlers target with
@@ -176,6 +217,7 @@ let count t ~src ~dst =
 let delivered t = Registry.Counter.value t.m_delivered
 let undeliverable t = Registry.Counter.value t.m_undeliverable
 let lost t = Registry.Counter.value t.m_lost
+let fault_lost t = Registry.Counter.value t.m_fault_lost
 
 let reset_counters t =
   (* Reset handles in place: the registry keeps the same counter cells, so
@@ -183,4 +225,5 @@ let reset_counters t =
   Pair_tbl.iter (fun _ c -> Registry.Counter.reset c) t.counters;
   Registry.Counter.reset t.m_delivered;
   Registry.Counter.reset t.m_undeliverable;
-  Registry.Counter.reset t.m_lost
+  Registry.Counter.reset t.m_lost;
+  Registry.Counter.reset t.m_fault_lost

@@ -50,6 +50,31 @@ val set_link : t -> src:Address.t -> dst:Address.t -> link_params -> unit
     the source's. *)
 val set_node_link : t -> Address.t -> link_params -> unit
 
+(** A fault-injection perturbation applied on top of a link's own
+    parameters: an independent extra drop probability and additional
+    propagation delay. Installed/cleared at simulated instants by the
+    [sw_fault] injector; with no disturbance installed the delivery path is
+    bit-identical to a fault-free build (no extra RNG draws). *)
+type disturbance = { extra_loss : float; extra_latency : Sw_sim.Time.t }
+
+(** [combine_disturbance a b] stacks two disturbances: losses compose as
+    independent drops, latencies add. *)
+val combine_disturbance : disturbance -> disturbance -> disturbance
+
+(** [set_fault_all t d] installs (or with [None] clears) a fabric-wide
+    disturbance affecting every delivery. *)
+val set_fault_all : t -> disturbance option -> unit
+
+(** [set_fault_to t addr d] installs (or clears) a disturbance on every
+    delivery whose effective target is [addr] — e.g. [Address.Egress] to
+    model output-tunnel drops, or a VMM address to degrade one machine's
+    inbound connectivity. Composes with the fabric-wide disturbance. *)
+val set_fault_to : t -> Address.t -> disturbance option -> unit
+
+(** Packets dropped by an injected disturbance ([net.fault.lost]), counted
+    separately from organic link loss so experiments can tell them apart. *)
+val fault_lost : t -> int
+
 (** [send t pkt] delivers [pkt] (unless lost) after the link delay. Packets
     to {!Address.Broadcast_addr} go to every registered handler except the
     sender's. Packets whose effective destination has no handler are counted

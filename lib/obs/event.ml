@@ -26,6 +26,13 @@ type t =
     }
   | Disk_irq of { vm : int; replica : int; tag : int; virt_ns : int64 }
   | Dma_irq of { vm : int; replica : int; tag : int; virt_ns : int64 }
+  | Fault_injected of { fault : string; target : string; span_ns : int64 }
+  | Fault_cleared of { fault : string; target : string }
+  | Fault_replica_crash of { vm : int; replica : int }
+  | Fault_replica_restart of { vm : int; replica : int }
+  | Degrade_suspected of { vm : int; replica : int; attempt : int }
+  | Degrade_ejected of { vm : int; replica : int; quorum : int }
+  | Degrade_reintegrated of { vm : int; replica : int; quorum : int }
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : int64 }
   | Message of { label : string; text : string }
@@ -38,6 +45,13 @@ let label = function
   | Vm_exit _ -> "vm-exit"
   | Disk_irq _ -> "disk-irq"
   | Dma_irq _ -> "dma-irq"
+  | Fault_injected _ -> "fault-inject"
+  | Fault_cleared _ -> "fault-clear"
+  | Fault_replica_crash _ -> "fault-crash"
+  | Fault_replica_restart _ -> "fault-restart"
+  | Degrade_suspected _ -> "degrade-suspect"
+  | Degrade_ejected _ -> "degrade-eject"
+  | Degrade_reintegrated _ -> "degrade-reintegrate"
   | Span_begin _ -> "span-begin"
   | Span_end _ -> "span-end"
   | Message _ -> "message"
@@ -82,6 +96,24 @@ let pp fmt = function
   | Dma_irq { vm; replica; tag; virt_ns } ->
       Format.fprintf fmt "vm%d/r%d dma irq tag=%d at virt=%a" vm replica tag
         pp_ns virt_ns
+  | Fault_injected { fault; target; span_ns } ->
+      Format.fprintf fmt "fault %s injected at %s for %a" fault target pp_ns
+        span_ns
+  | Fault_cleared { fault; target } ->
+      Format.fprintf fmt "fault %s cleared at %s" fault target
+  | Fault_replica_crash { vm; replica } ->
+      Format.fprintf fmt "vm%d/r%d crashed" vm replica
+  | Fault_replica_restart { vm; replica } ->
+      Format.fprintf fmt "vm%d/r%d restarted" vm replica
+  | Degrade_suspected { vm; replica; attempt } ->
+      Format.fprintf fmt "vm%d/r%d suspected dead (attempt %d)" vm replica
+        attempt
+  | Degrade_ejected { vm; replica; quorum } ->
+      Format.fprintf fmt "vm%d/r%d ejected; group degrades to quorum %d" vm
+        replica quorum
+  | Degrade_reintegrated { vm; replica; quorum } ->
+      Format.fprintf fmt "vm%d/r%d reintegrated; group back to quorum %d" vm
+        replica quorum
   | Span_begin { name } -> Format.fprintf fmt "span %s begins" name
   | Span_end { name; elapsed_ns } ->
       Format.fprintf fmt "span %s ends after %a" name pp_ns elapsed_ns

@@ -38,6 +38,19 @@ type t =
     }
   | Disk_irq of { vm : int; replica : int; tag : int; virt_ns : int64 }
   | Dma_irq of { vm : int; replica : int; tag : int; virt_ns : int64 }
+  | Fault_injected of { fault : string; target : string; span_ns : int64 }
+      (** An injected fault window opened ([fault] is the primitive's kind
+          tag, [target] a rendered link/machine/replica description). *)
+  | Fault_cleared of { fault : string; target : string }
+  | Fault_replica_crash of { vm : int; replica : int }
+  | Fault_replica_restart of { vm : int; replica : int }
+  | Degrade_suspected of { vm : int; replica : int; attempt : int }
+      (** The watchdog missed this replica's heartbeats for a timeout window
+          ([attempt] counts the bounded retries before ejection). *)
+  | Degrade_ejected of { vm : int; replica : int; quorum : int }
+      (** The replica was ejected; the group now runs on [quorum] members. *)
+  | Degrade_reintegrated of { vm : int; replica : int; quorum : int }
+      (** A restarted replica resynced and rejoined; quorum restored. *)
   | Span_begin of { name : string }
   | Span_end of { name : string; elapsed_ns : int64 }
   | Message of { label : string; text : string }

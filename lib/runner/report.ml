@@ -83,17 +83,27 @@ let of_summary s =
     ]
 
 let of_failure (f : Runner.failure) =
-  let reason =
+  let status, detail, reason =
     match f.Runner.reason with
-    | Runner.Exn msg -> String ("exn: " ^ msg)
-    | Runner.Timed_out s -> String (Printf.sprintf "timeout after %.2f s" s)
+    | Runner.Exn msg ->
+        ("crashed", [ ("exn", String msg) ], String ("exn: " ^ msg))
+    | Runner.Timed_out s ->
+        ( "timed_out",
+          [ ("timeout_s", Float s) ],
+          String (Printf.sprintf "timeout after %.2f s" s) )
   in
   Obj
-    [
-      ("key", String f.Runner.key);
-      ("attempts", Int f.Runner.attempts);
-      ("reason", reason);
-    ]
+    ([
+       ("key", String f.Runner.key);
+       ("status", String status);
+       ("attempts", Int f.Runner.attempts);
+     ]
+    @ detail
+    @ [ ("reason", reason) ])
+
+let of_outcome value = function
+  | Ok v -> Obj [ ("status", String "ok"); ("value", value v) ]
+  | Error f -> of_failure f
 
 let of_metrics snapshot =
   let module Snapshot = Sw_obs.Snapshot in

@@ -28,8 +28,18 @@ val write : string -> t -> unit
     when empty). *)
 val of_summary : Sw_sim.Summary.t -> t
 
-(** A structured failure as an object: [{"key", "attempts", "reason"}]. *)
+(** A structured failure as an object:
+    [{"key", "status", "attempts", ..., "reason"}] — [status] is
+    ["crashed"] (with the printed exception under ["exn"]) or
+    ["timed_out"] (with the budget under ["timeout_s"]), [attempts] the
+    number of attempts spent; ["reason"] keeps the legacy one-line
+    rendering. *)
 val of_failure : Runner.failure -> t
+
+(** [of_outcome value outcome] renders a job's final status:
+    [{"status": "ok", "value": ...}] on success (via [value]), else
+    {!of_failure}'s object. *)
+val of_outcome : ('a -> t) -> 'a Runner.outcome -> t
 
 (** One metrics snapshot as an object keyed by metric path; each value is
     [{"kind", "value"}] (counter/sum/gauge) or the histogram object

@@ -6,6 +6,12 @@ type epoch = {
   slope_u : float;
 }
 
+type watchdog = {
+  timeout : Time.t;
+  period : Time.t;
+  retries : int;
+}
+
 type t = {
   quantum : Time.t;
   branches_per_ns : float;
@@ -20,11 +26,15 @@ type t = {
   baseline_inject_delay : Time.t;
   proposal_size : int;
   mcast_nak_delay : Time.t;
+  mcast_nak_retries : int;
   mcast_heartbeat : Time.t option;
   nic_bps : int;
   dma_bps : int;
   replay_log : bool;
   disk : Sw_disk.Disk.params;
+  vmm_heartbeat : Time.t option;
+  watchdog : watchdog option;
+  egress_vote_expiry : Time.t option;
 }
 
 let slice_branches t =
@@ -45,11 +55,15 @@ let default =
     baseline_inject_delay = Time.us 150;
     proposal_size = 80;
     mcast_nak_delay = Time.us 300;
+    mcast_nak_retries = 5;
     mcast_heartbeat = None;
     nic_bps = 1_000_000_000;
     dma_bps = 8_000_000_000;
     replay_log = false;
     disk = Sw_disk.Disk.default_params;
+    vmm_heartbeat = None;
+    watchdog = None;
+    egress_vote_expiry = None;
   }
 
 let validate t =
@@ -71,4 +85,27 @@ let validate t =
       if e.slope_l <= 0. || e.slope_u < e.slope_l then
         invalid_arg "Config: epoch slope bounds must satisfy 0 < l <= u"
   | None -> ());
+  if t.mcast_nak_retries < 1 then
+    invalid_arg "Config: mcast_nak_retries must be positive";
+  (match t.vmm_heartbeat with
+  | Some p when Time.(p <= Time.zero) ->
+      invalid_arg "Config: vmm_heartbeat must be positive"
+  | _ -> ());
+  (match t.watchdog with
+  | Some w -> (
+      if Time.(w.timeout <= Time.zero) then
+        invalid_arg "Config: watchdog timeout must be positive";
+      if Time.(w.period <= Time.zero) then
+        invalid_arg "Config: watchdog period must be positive";
+      if w.retries < 0 then invalid_arg "Config: watchdog retries must be >= 0";
+      match t.vmm_heartbeat with
+      | None -> invalid_arg "Config: watchdog requires vmm_heartbeat"
+      | Some hb ->
+          if Time.(w.timeout <= hb) then
+            invalid_arg "Config: watchdog timeout must exceed vmm_heartbeat")
+  | None -> ());
+  (match t.egress_vote_expiry with
+  | Some e when Time.(e <= Time.zero) ->
+      invalid_arg "Config: egress_vote_expiry must be positive"
+  | _ -> ());
   if slice_branches t < 1L then invalid_arg "Config: slice shorter than one branch"

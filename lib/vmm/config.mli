@@ -13,6 +13,17 @@ type epoch = {
   slope_u : float;  (** Upper clamp. *)
 }
 
+(** Liveness watchdog parameters (graceful degradation). *)
+type watchdog = {
+  timeout : Sw_sim.Time.t;
+      (** A replica unheard-from for this long is suspected dead. Must
+          exceed [vmm_heartbeat]. *)
+  period : Sw_sim.Time.t;  (** How often the watchdog sweeps the group. *)
+  retries : int;
+      (** Suspicions tolerated before ejection: the replica is ejected on
+          the [retries + 1]-th consecutive suspicious sweep. *)
+}
+
 type t = {
   quantum : Sw_sim.Time.t;
       (** Scheduler slice; guest-caused VM exits occur at slice ends. *)
@@ -36,6 +47,9 @@ type t = {
   mcast_nak_delay : Sw_sim.Time.t;
       (** Receiver NAK delay of the PGM-style multicast used for inbound
           replication and VMM coordination. *)
+  mcast_nak_retries : int;
+      (** NAK re-sends (exponential backoff) before a receiver abandons a
+          gap instead of stalling; default 5. *)
   mcast_heartbeat : Sw_sim.Time.t option;
       (** Sender heartbeat period enabling tail-loss recovery; [None] (the
           default) suits a lossless fabric. *)
@@ -47,6 +61,19 @@ type t = {
           deterministic replay ({!Vmm.rebuild}; paper footnote 4). Off by
           default: the log grows with the run. *)
   disk : Sw_disk.Disk.params;
+  vmm_heartbeat : Sw_sim.Time.t option;
+      (** Period of per-replica liveness heartbeats multicast to the group.
+          Scheduled by the hosting VMM independently of guest execution, so
+          an epoch-blocked (but live) replica keeps heartbeating. [None]
+          (the default) disables them. *)
+  watchdog : watchdog option;
+      (** Liveness watchdog ejecting unresponsive replicas so the group
+          degrades to a smaller odd quorum instead of wedging. Requires
+          [vmm_heartbeat]. [None] (the default) disables it. *)
+  egress_vote_expiry : Sw_sim.Time.t option;
+      (** Retire incomplete egress vote entries this long after their median
+          copy released (bounds egress memory under tunnel loss); [None]
+          (the default) keeps entries until all copies arrive. *)
 }
 
 (** Slice length in branches ([quantum * branches_per_ns]). *)

@@ -22,6 +22,11 @@ type t = {
   mutable dom0_busy_until : Time.t;
   mutable nic_busy_until : Time.t;
   mutable dma_busy_until : Time.t;
+  (* Fault-injection state: a stall freezes everything the machine would do
+     until the given instant; a slowdown stretches guest slices by a factor.
+     Both default to the identity and cost nothing when unused. *)
+  mutable stalled_until : Time.t;
+  mutable slowdown : float;
   m_slices : Registry.Counter.t;
   m_dom0_ns : Registry.Counter.t;
 }
@@ -46,6 +51,8 @@ let create engine network ~id ~config ?(rate_multiplier = 1.0)
     dom0_busy_until = Time.zero;
     nic_busy_until = Time.zero;
     dma_busy_until = Time.zero;
+    stalled_until = Time.zero;
+    slowdown = 1.0;
     m_slices = Registry.counter metrics (Printf.sprintf "vmm.%d.slices" id);
     m_dom0_ns = Registry.counter metrics (Printf.sprintf "vmm.%d.dom0_ns" id);
   }
@@ -69,8 +76,12 @@ let rec slice_loop t rs =
     rs.running <- true;
     let slice_start = Engine.now t.engine in
     Registry.Counter.incr t.m_slices;
+    let wall =
+      if t.slowdown = 1.0 then t.slice_wall else Time.scale t.slice_wall t.slowdown
+    in
+    let finish = Time.add (Time.max slice_start t.stalled_until) wall in
     ignore
-      (Engine.schedule_after ~kind:"vmm.slice" t.engine t.slice_wall (fun () ->
+      (Engine.schedule_at ~kind:"vmm.slice" t.engine finish (fun () ->
            rs.r.on_slice_end ~slice_start;
            slice_loop t rs))
   end
@@ -83,6 +94,29 @@ let attach t r =
 
 let wake t =
   Array.iter (fun rs -> if not rs.running then slice_loop t rs) t.residents
+
+(* Freeze the whole machine — guest cores, Dom0, NIC, DMA — until [until].
+   Slices already in flight complete at their scheduled instant (the
+   simulation has no preemption); everything that would start meanwhile is
+   pushed past the stall. *)
+let stall t ~until =
+  if Time.(until > t.stalled_until) then t.stalled_until <- until;
+  if Time.(until > t.dom0_busy_until) then t.dom0_busy_until <- until;
+  if Time.(until > t.nic_busy_until) then t.nic_busy_until <- until;
+  if Time.(until > t.dma_busy_until) then t.dma_busy_until <- until
+
+(* Dom0-only pause: guest cores keep retiring branches but device models
+   (packet and disk processing) queue behind the pause — the paper's Dom0
+   contention, made injectable. *)
+let pause_dom0 t ~until =
+  if Time.(until > t.dom0_busy_until) then t.dom0_busy_until <- until
+
+let set_slowdown t factor =
+  if factor < 1.0 then invalid_arg "Machine.set_slowdown: factor must be >= 1";
+  t.slowdown <- factor
+
+let slowdown t = t.slowdown
+let stalled_until t = t.stalled_until
 
 (* Dom0 runs the device models for every resident on one shared thread; work
    is served FIFO — the queueing delay coresident VMs impose on each other

@@ -77,3 +77,27 @@ val slices : t -> int
 
 (** Total Dom0 CPU time consumed. *)
 val dom0_time : t -> Sw_sim.Time.t
+
+(** {1 Fault-injection hooks}
+
+    Used by the [sw_fault] injector to model machine-level disturbances;
+    all default to the identity and cost nothing when unused. *)
+
+(** [stall t ~until] freezes the machine — new guest slices, Dom0 work, NIC
+    serialisation and DMA transfers all start no earlier than [until].
+    Slices already in flight still complete at their scheduled instant.
+    Monotone: never shortens an existing stall. *)
+val stall : t -> until:Sw_sim.Time.t -> unit
+
+(** [pause_dom0 t ~until] pauses only the Dom0 device-model thread — guests
+    keep executing, but packet/disk processing queues behind the pause. *)
+val pause_dom0 : t -> until:Sw_sim.Time.t -> unit
+
+(** [set_slowdown t f] stretches subsequent guest slices to [f * quantum]
+    of wall time ([f >= 1]; [1.0] restores full speed). Branches retired per
+    slice are unchanged, so guest-visible determinism is preserved — the
+    machine merely takes longer, exactly like a contended host. *)
+val set_slowdown : t -> float -> unit
+
+val slowdown : t -> float
+val stalled_until : t -> Sw_sim.Time.t

@@ -13,6 +13,11 @@ type member = {
   send_report : epoch:int -> d:Time.t -> r:Time.t -> unit;
   mutable virt : Time.t;
   mutable blocked_skew : bool;
+  mutable active : bool;
+      (** False once ejected by the watchdog; inactive members neither vote
+          in medians nor gate epoch resolution. *)
+  mutable last_seen : Time.t;
+      (** Real time of the last sign of life (exit, heartbeat, report). *)
   (* Epoch state *)
   mutable epoch_index : int;  (** Next epoch boundary to cross. *)
   mutable epoch_start_real : Time.t;
@@ -28,8 +33,14 @@ type t = {
   config : Config.t;
   mode : mode;
   mutable members : member array;
+  mutable on_membership_change : (unit -> unit) list;
+  mutable degraded_since : Time.t option;
+      (** Set while the group runs with at least one ejected member. *)
   m_divergences : Registry.Counter.t;
   m_skew_blocks : Registry.Counter.t;
+  m_ejections : Registry.Counter.t;
+  m_reintegrations : Registry.Counter.t;
+  m_degraded_ns : Registry.Sum.t;
 }
 
 let create ?metrics ~vm ~config ~mode () =
@@ -44,10 +55,16 @@ let create ?metrics ~vm ~config ~mode () =
     config;
     mode;
     members = [||];
+    on_membership_change = [];
+    degraded_since = None;
     m_divergences =
       Registry.counter metrics (Printf.sprintf "vm%d.divergences" vm);
     m_skew_blocks =
       Registry.counter metrics (Printf.sprintf "vm%d.skew_blocks" vm);
+    m_ejections = Registry.counter metrics (Printf.sprintf "vm%d.ejections" vm);
+    m_reintegrations =
+      Registry.counter metrics (Printf.sprintf "vm%d.reintegrations" vm);
+    m_degraded_ns = Registry.sum metrics (Printf.sprintf "vm%d.degraded_ns" vm);
   }
 
 let vm t = t.vm
@@ -57,6 +74,9 @@ let replica_id m = m.replica_id
 let machine_of m = m.machine
 let member_virt m = m.virt
 let complete t = Array.length t.members = t.config.Config.replicas
+
+let member_by_id t id =
+  if id >= 0 && id < Array.length t.members then Some t.members.(id) else None
 
 let add_member t ~machine ~wake ~apply_slope ~send_report =
   if complete t then invalid_arg "Replica_group.add_member: group is full";
@@ -69,6 +89,8 @@ let add_member t ~machine ~wake ~apply_slope ~send_report =
       send_report;
       virt = Time.zero;
       blocked_skew = false;
+      active = true;
+      last_seen = Time.zero;
       epoch_index = 0;
       epoch_start_real = Time.zero;
       blocked_epoch = false;
@@ -86,14 +108,45 @@ let median_time times =
   Array.sort Time.compare sorted;
   sorted.(n / 2)
 
+let active m = m.active
+let last_seen m = m.last_seen
+let note_seen _t m ~now = if Time.(now > m.last_seen) then m.last_seen <- now
+
+let active_count t =
+  Array.fold_left (fun acc m -> if m.active then acc + 1 else acc) 0 t.members
+
+(* The group degrades to the largest odd quorum the active members can
+   field; the voters are the active members with the lowest replica ids, so
+   every VMM derives the same voter set from the same membership view. *)
+let quorum t =
+  let n = active_count t in
+  if n = 0 then 0 else if n mod 2 = 1 then n else n - 1
+
+let quorum_ids t =
+  let q = quorum t in
+  let ids = ref [] and taken = ref 0 in
+  Array.iter
+    (fun m ->
+      if m.active && !taken < q then begin
+        ids := m.replica_id :: !ids;
+        incr taken
+      end)
+    t.members;
+  List.rev !ids
+
+let in_quorum t m = m.active && List.mem m.replica_id (quorum_ids t)
+
 let blocked _t m = m.blocked_skew || m.blocked_epoch
 
 (* Deschedule the strictly fastest member when it leads the second fastest
-   by more than the bound; everyone else runs. *)
+   by more than the bound; everyone else runs. Only active members take part:
+   a crashed replica's frozen virtual time must not pin the survivors, and an
+   ejected-but-live member free-runs as a non-voting bystander. *)
 let update_skew t =
-  let n = Array.length t.members in
+  let live = Array.of_list (List.filter (fun m -> m.active) (Array.to_list t.members)) in
+  let n = Array.length live in
   if n >= 2 then begin
-    let virts = Array.map (fun m -> m.virt) t.members in
+    let virts = Array.map (fun m -> m.virt) live in
     Array.sort (fun a b -> Time.compare b a) virts;
     let fastest = virts.(0) and second = virts.(1) in
     let limit = t.config.Config.skew_bound in
@@ -112,18 +165,23 @@ let update_skew t =
             Registry.Counter.incr t.m_skew_blocks;
           m.blocked_skew <- should_block
         end)
-      t.members
+      live
   end
 
 (* Try to resolve the epoch this member is blocked on: needs its own
-   boundary crossing recorded and all replicas' reports. *)
+   boundary crossing recorded and the reports of every quorum voter. A full
+   group's quorum is all replicas; a degraded group resolves over the
+   surviving odd quorum so the epoch machinery keeps making progress. *)
 let current_reports t m =
-  let n = t.config.Config.replicas in
-  let found =
-    Array.init n (fun from -> Hashtbl.find_opt m.reports (m.epoch_index, from))
-  in
-  if Array.for_all Option.is_some found then Some (Array.map Option.get found)
-  else None
+  match quorum_ids t with
+  | [] -> None
+  | voters ->
+      let found =
+        List.map (fun from -> Hashtbl.find_opt m.reports (m.epoch_index, from)) voters
+      in
+      if List.for_all Option.is_some found then
+        Some (Array.of_list (List.map Option.get found))
+      else None
 
 let try_resolve_epoch t m =
   match (m.pending_boundary, t.config.Config.epoch, current_reports t m) with
@@ -176,6 +234,7 @@ let note_epoch_crossing t m ~now ~virt ~instr =
 
 let note_exit t m ~now ~virt ~instr =
   m.virt <- virt;
+  note_seen t m ~now;
   match t.mode with
   | Baseline -> ()
   | Stopwatch ->
@@ -199,6 +258,81 @@ let skew_blocks t = Registry.Counter.value t.m_skew_blocks
 let divergences t = Registry.Counter.value t.m_divergences
 
 let epochs_resolved t =
-  if Array.length t.members = 0 then 0
-  else
-    Array.fold_left (fun acc m -> Stdlib.min acc m.epoch_index) max_int t.members
+  let resolved = ref max_int and any = ref false in
+  Array.iter
+    (fun m ->
+      if m.active then begin
+        any := true;
+        resolved := Stdlib.min !resolved m.epoch_index
+      end)
+    t.members;
+  if !any then !resolved else 0
+
+let on_membership_change t f =
+  t.on_membership_change <- f :: t.on_membership_change
+
+(* Open or close the degraded-mode window; the sum only accumulates closed
+   windows, so [degraded_ns] adds the still-open one on read. *)
+let note_degraded_transition t ~now =
+  let degraded = active_count t < Array.length t.members in
+  match (t.degraded_since, degraded) with
+  | None, true -> t.degraded_since <- Some now
+  | Some since, false ->
+      Registry.Sum.add t.m_degraded_ns (Int64.to_float (Time.sub now since));
+      t.degraded_since <- None
+  | _ -> ()
+
+let degraded_ns t ~now =
+  let closed = Registry.Sum.value t.m_degraded_ns in
+  match t.degraded_since with
+  | Some since -> closed +. Int64.to_float (Time.sub now since)
+  | None -> closed
+
+(* After any membership change the survivors must re-evaluate everything the
+   old membership was gating: the skew frontier shrank or grew, and epochs
+   waiting on a dead voter's report may now resolve over the new quorum.
+   External listeners (VMM median rescans, egress population) run last, once
+   the group state is consistent. *)
+let fire_membership_change t =
+  update_skew t;
+  Array.iter (fun m -> if m.active then try_resolve_epoch t m) t.members;
+  List.iter (fun f -> f ()) (List.rev t.on_membership_change)
+
+let eject t m ~now =
+  if m.active then begin
+    m.active <- false;
+    Registry.Counter.incr t.m_ejections;
+    (* A live-but-ejected bystander must not stay parked on group decisions
+       it no longer participates in. *)
+    if m.blocked_skew || m.blocked_epoch then begin
+      m.blocked_skew <- false;
+      m.blocked_epoch <- false;
+      m.wake ()
+    end;
+    note_degraded_transition t ~now;
+    fire_membership_change t
+  end
+
+let reinstate t m ~now ~virt ~like =
+  if m.active then invalid_arg "Replica_group.reinstate: member is active";
+  if not like.active then
+    invalid_arg "Replica_group.reinstate: resync source must be active";
+  m.active <- true;
+  Registry.Counter.incr t.m_reintegrations;
+  m.virt <- virt;
+  m.last_seen <- now;
+  m.blocked_skew <- false;
+  m.blocked_epoch <- false;
+  m.pending_boundary <- None;
+  (* Resync barrier: adopt the survivor's epoch position and report buffer so
+     the rejoined member neither re-votes resolved epochs nor waits on
+     reports that were consumed before it returned. *)
+  m.epoch_index <- like.epoch_index;
+  m.epoch_start_real <- like.epoch_start_real;
+  Hashtbl.reset m.reports;
+  Hashtbl.iter (fun k v -> Hashtbl.replace m.reports k v) like.reports;
+  note_degraded_transition t ~now;
+  fire_membership_change t
+
+let ejections t = Registry.Counter.value t.m_ejections
+let reintegrations t = Registry.Counter.value t.m_reintegrations

@@ -38,6 +38,9 @@ val add_member :
 val replica_id : member -> int
 val machine_of : member -> int
 
+(** The member with the given replica id, if registered. *)
+val member_by_id : t -> int -> member option
+
 (** Latest virtual time reported by this member (its last VM exit). *)
 val member_virt : member -> Sw_sim.Time.t
 
@@ -78,3 +81,63 @@ val skew_blocks : t -> int
 
 (** Median of an odd-length array of times. *)
 val median_time : Sw_sim.Time.t array -> Sw_sim.Time.t
+
+(** {1 Graceful degradation}
+
+    The watchdog ejects unresponsive members; the group then votes over the
+    largest odd quorum the survivors can field (the active members with the
+    lowest replica ids) instead of wedging on the missing reports. A
+    restarted replica rejoins through {!reinstate} after its VMM has resynced
+    its state from a survivor. *)
+
+(** Whether the member is a group participant (not ejected). *)
+val active : member -> bool
+
+(** Real time of the member's last sign of life (VM exit, heartbeat, or
+    coordination message observed by a peer). *)
+val last_seen : member -> Sw_sim.Time.t
+
+(** [note_seen t m ~now] advances [m]'s liveness timestamp (monotone). *)
+val note_seen : t -> member -> now:Sw_sim.Time.t -> unit
+
+val active_count : t -> int
+
+(** Current voting-population size: the largest odd number of active
+    members ([0] when none are active). *)
+val quorum : t -> int
+
+(** Replica ids of the current voters — the [quorum t] active members with
+    the lowest ids, ascending. *)
+val quorum_ids : t -> int list
+
+(** Whether this member currently votes. *)
+val in_quorum : t -> member -> bool
+
+(** [eject t m ~now] removes [m] from the voting population: recomputes skew
+    over the survivors, re-attempts epoch resolution over the new quorum, and
+    notifies {!on_membership_change} listeners. Idempotent. *)
+val eject : t -> member -> now:Sw_sim.Time.t -> unit
+
+(** [reinstate t m ~now ~virt ~like] returns an ejected member to the
+    group at virtual time [virt], adopting the epoch position and report
+    buffer of the active survivor [like] (the resync barrier — the caller
+    must already have rebuilt the member's guest to match). Raises if [m] is
+    active or [like] is not. *)
+val reinstate :
+  t -> member -> now:Sw_sim.Time.t -> virt:Sw_sim.Time.t -> like:member -> unit
+
+(** [on_membership_change t f] registers [f] to run after every {!eject} /
+    {!reinstate}, once group state is consistent. Listeners run in
+    registration order. *)
+val on_membership_change : t -> (unit -> unit) -> unit
+
+(** Members ejected so far ([vm<id>.ejections]). *)
+val ejections : t -> int
+
+(** Members reinstated so far ([vm<id>.reintegrations]). *)
+val reintegrations : t -> int
+
+(** Total real time the group has spent with at least one ejected member,
+    in nanoseconds, including the currently open window (the closed-window
+    total lives in the [vm<id>.degraded_ns] sum). *)
+val degraded_ns : t -> now:Sw_sim.Time.t -> float

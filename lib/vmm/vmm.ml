@@ -34,11 +34,21 @@ type log_entry =
   | L_timers
   | L_slope of int64 * float
 
+(* Liveness heartbeat multicast by each replica's VMM to the group: the
+   watchdog distinguishes a dead replica from a merely blocked one by these,
+   since an epoch-blocked guest stops exiting but its VMM keeps beating. *)
+type Packet.payload += Vmm_alive of { vm : int; replica : int }
+
 type instance = {
   vm_id : int;
   group : Replica_group.t;
   member : Replica_group.member;
   mutable guest : Sw_vm.Guest.t;
+  mutable vt : Sw_vm.Virtual_time.t;
+  mutable crashed : bool;
+      (** A crashed replica stops slicing, heartbeating, and reacting to
+          packets; its VMM and machine keep running (process death, not
+          machine death). *)
   app_factory : Sw_vm.App.factory;
   sinks : Sw_vm.Guest.sinks;
   vt_start : Time.t;
@@ -74,6 +84,8 @@ type t = {
 let machine t = t.mach
 let vm i = i.vm_id
 let replica i = Replica_group.replica_id i.member
+let member i = i.member
+let channel_endpoint i = i.channel
 let guest i = i.guest
 let metric_prefix (i : instance) =
   Printf.sprintf "vmm.%d.vm%d" (Machine.id i.mach) i.vm_id
@@ -121,19 +133,27 @@ let is_stopwatch i =
 
 (* --- Network device model ------------------------------------------- *)
 
+(* A delivery time resolves once every current quorum voter has proposed;
+   the median is taken over the voters' proposals only. With a full group
+   that is all replicas, as in the paper; a degraded group medians over the
+   surviving odd quorum, and proposals from ejected (non-voting) members are
+   recorded but carry no vote. *)
 let complete_inbound i ~ingress_seq entry =
+  let voters = Replica_group.quorum_ids i.group in
+  let votes =
+    List.filter (fun (who, _) -> List.mem who voters) entry.proposals
+  in
   match entry.packet with
-  | Some inner when List.length entry.proposals = i.config.Config.replicas ->
+  | Some inner when voters <> [] && List.length votes = List.length voters ->
       Hashtbl.remove i.inbound ingress_seq;
       let delivery =
-        Replica_group.median_time
-          (Array.of_list (List.map snd entry.proposals))
+        Replica_group.median_time (Array.of_list (List.map snd votes))
       in
       (* Credit the proposers whose value the median adopted, splitting ties
          evenly — Sec. IX's marginalisation is visible here: a loaded
          replica's (late, hence larger) proposals stop being adopted. *)
       let winners =
-        List.filter (fun (_, v) -> Time.equal v delivery) entry.proposals
+        List.filter (fun (_, v) -> Time.equal v delivery) votes
       in
       let credit = 1. /. float_of_int (List.length winners) in
       List.iter
@@ -171,6 +191,21 @@ let inbound_entry i ingress_seq =
       let e = { packet = None; proposals = [] } in
       Hashtbl.add i.inbound ingress_seq e;
       e
+
+(* After a membership change, deliveries that were waiting on a dead voter's
+   proposal may already satisfy the new quorum — rescan the buffered table.
+   Keys are collected (sorted, for a deterministic completion order) before
+   completing, since completion removes entries. *)
+let rescan_inbound i =
+  if not i.crashed then begin
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) i.inbound [] in
+    List.iter
+      (fun k ->
+        match Hashtbl.find_opt i.inbound k with
+        | Some entry -> complete_inbound i ~ingress_seq:k entry
+        | None -> ())
+      (List.sort compare keys)
+  end
 
 let add_proposal entry ~proposer ~virt =
   if not (List.mem_assoc proposer entry.proposals) then
@@ -329,6 +364,8 @@ let deliver_due i =
   Sw_vm.Guest.deliver_due_timers i.guest
 
 let on_slice_end t i ~slice_start:_ =
+  if i.crashed then ()
+  else begin
   let branches = Config.slice_branches i.config in
   log_op i L_slice;
   Sw_vm.Guest.run_branches i.guest branches;
@@ -347,6 +384,7 @@ let on_slice_end t i ~slice_start:_ =
            instr = Sw_vm.Guest.instr i.guest;
          });
   deliver_due i
+  end
 
 (* --- Disk device model ------------------------------------------------ *)
 
@@ -371,7 +409,8 @@ let on_disk_request t i ~kind ~bytes ~sequential ~tag =
       (* The transfer must have completed by the virtual delivery time; if
          the guest's clock has already passed it, that's a Δd violation. *)
       if
-        is_stopwatch i
+        (not i.crashed)
+        && is_stopwatch i
         && Time.(Sw_vm.Guest.virt_now i.guest > entry.delivery_virt)
       then begin
         Registry.Counter.incr i.m_delta_d;
@@ -386,13 +425,14 @@ let on_disk_request t i ~kind ~bytes ~sequential ~tag =
                })
       end;
       i.disk_waiting <- List.filter (fun e -> e.tag <> entry.tag) i.disk_waiting;
-      insert_pending i
-        {
-          delivery = entry.delivery_virt;
-          cls = 1;
-          key = entry.tag;
-          event = Sw_vm.App.Disk_done { tag = entry.tag };
-        })
+      if not i.crashed then
+        insert_pending i
+          {
+            delivery = entry.delivery_virt;
+            cls = 1;
+            key = entry.tag;
+            event = Sw_vm.App.Disk_done { tag = entry.tag };
+          })
 
 let on_dma_request t i ~bytes ~tag =
   Machine.dom0_work t.mach (Machine.config t.mach).Config.dom0_per_packet;
@@ -403,6 +443,8 @@ let on_dma_request t i ~bytes ~tag =
   in
   let delivery_virt = Time.add virt_issue offset in
   Machine.dma_execute t.mach ~bytes (fun () ->
+      if i.crashed then ()
+      else begin
       if is_stopwatch i && Time.(Sw_vm.Guest.virt_now i.guest > delivery_virt) then begin
         Registry.Counter.incr i.m_delta_d;
         Replica_group.record_divergence i.group;
@@ -421,9 +463,18 @@ let on_dma_request t i ~bytes ~tag =
           cls = 2;
           key = tag;
           event = Sw_vm.App.Dma_done { tag };
-        })
+        }
+      end)
 
 (* --- Construction ----------------------------------------------------- *)
+
+(* Any coordination message from a peer is a sign of life for the watchdog,
+   whichever VMM observes it — the group's liveness state is shared. *)
+let note_peer_seen i replica =
+  match Replica_group.member_by_id i.group replica with
+  | Some m ->
+      Replica_group.note_seen i.group m ~now:(Engine.now (Machine.engine i.mach))
+  | None -> ()
 
 let handle_packet t (pkt : Packet.t) =
   match pkt.Packet.payload with
@@ -436,17 +487,26 @@ let handle_packet t (pkt : Packet.t) =
       | None -> Registry.Counter.incr t.m_unknown)
   | Packet.Guest_bound { vm; ingress_seq; inner } -> (
       match Hashtbl.find_opt t.instances vm with
-      | Some i -> on_guest_bound i ~ingress_seq ~inner
+      | Some i when not i.crashed -> on_guest_bound i ~ingress_seq ~inner
+      | Some _ -> ()
       | None -> Registry.Counter.incr t.m_unknown)
   | Packet.Proposal { vm; ingress_seq; proposer; virt } -> (
       match Hashtbl.find_opt t.instances vm with
-      | Some i -> on_proposal i ~ingress_seq ~proposer ~virt
+      | Some i ->
+          note_peer_seen i proposer;
+          if not i.crashed then on_proposal i ~ingress_seq ~proposer ~virt
       | None -> Registry.Counter.incr t.m_unknown)
   | Packet.Epoch_report { vm; replica; epoch; d; r } -> (
       match Hashtbl.find_opt t.instances vm with
       | Some i ->
-          Replica_group.receive_report i.group ~at:i.member ~from_replica:replica
-            ~epoch ~d ~r
+          note_peer_seen i replica;
+          if not i.crashed then
+            Replica_group.receive_report i.group ~at:i.member
+              ~from_replica:replica ~epoch ~d ~r
+      | None -> Registry.Counter.incr t.m_unknown)
+  | Vmm_alive { vm; replica } -> (
+      match Hashtbl.find_opt t.instances vm with
+      | Some i -> note_peer_seen i replica
       | None -> Registry.Counter.incr t.m_unknown)
   | _ -> (
       (* Baseline-mode guests receive their traffic directly. *)
@@ -462,7 +522,7 @@ let handle_packet t (pkt : Packet.t) =
    history (paper footnote 4: recovering a diverged replica). The clone is
    built muted — its sends and device requests are suppressed, since they
    already happened — then unmuted and swapped in. *)
-let rebuild i =
+let rebuild_with_vt i =
   if not i.config.Config.replay_log then
     invalid_arg "Vmm.rebuild: enable Config.replay_log to record history";
   let vt =
@@ -486,12 +546,123 @@ let rebuild i =
           Sw_vm.Virtual_time.set_slope vt ~at_instr ~slope_ns_per_branch)
     (List.rev i.log_rev);
   Sw_vm.Guest.set_muted guest false;
-  guest
+  (guest, vt)
 
-(* Swap the rebuilt clone in as the live guest. *)
+let rebuild i = fst (rebuild_with_vt i)
+
+(* Swap the rebuilt clone in as the live guest (the clone's clock becomes
+   the live clock, so later epoch slope adjustments land on it). *)
 let recover i =
-  let guest = rebuild i in
-  i.guest <- guest
+  let guest, vt = rebuild_with_vt i in
+  i.guest <- guest;
+  i.vt <- vt
+
+(* --- Crash, restart, liveness heartbeats ------------------------------ *)
+
+let crashed i = i.crashed
+
+let crash i =
+  if not i.crashed then begin
+    i.crashed <- true;
+    if trace_on i then
+      emit i
+        (Event.Fault_replica_crash
+           { vm = i.vm_id; replica = Replica_group.replica_id i.member })
+  end
+
+let reintegrate i ~from =
+  if not i.crashed then invalid_arg "Vmm.reintegrate: replica is not crashed";
+  if from.crashed then invalid_arg "Vmm.reintegrate: resync source is crashed";
+  if from.vm_id <> i.vm_id || from == i then
+    invalid_arg "Vmm.reintegrate: resync source must be a peer replica";
+  if not i.config.Config.replay_log then
+    invalid_arg "Vmm.reintegrate: enable Config.replay_log to resync";
+  let now = Engine.now (Machine.engine i.mach) in
+  (* Restarts can race the watchdog: if the crashed member was never ejected,
+     eject it now so the reinstate below starts from consistent group state
+     (and so the degradation metrics record the outage either way). *)
+  if Replica_group.active i.member then Replica_group.eject i.group i.member ~now;
+  (* Resync barrier: deterministic replay of the survivor's history — the
+     replicas' logs are identical, so the rebuilt guest matches the
+     survivor's bit for bit. *)
+  i.log_rev <- from.log_rev;
+  let guest, vt = rebuild_with_vt i in
+  i.guest <- guest;
+  i.vt <- vt;
+  (* Copy the survivor's delivery horizon: agreed future injections,
+     half-gathered proposal entries, and delivery-gap continuity. Entries are
+     cloned where mutable. *)
+  i.pending <- from.pending;
+  Hashtbl.reset i.inbound;
+  Hashtbl.iter
+    (fun k (e : inbound_entry) ->
+      Hashtbl.replace i.inbound k { packet = e.packet; proposals = e.proposals })
+    from.inbound;
+  i.last_net_virt <- from.last_net_virt;
+  (* The survivor's in-flight disk transfers have deterministic virtual
+     delivery slots — mirror them directly so both replicas inject the same
+     interrupts at the same virtual times. (In-flight DMA completions carry
+     no waiting record and are not recoverable; guests with outstanding DMA
+     across a crash-restart boundary will diverge.) *)
+  i.disk_waiting <- [];
+  List.iter
+    (fun (e : disk_entry) ->
+      insert_pending i
+        {
+          delivery = e.delivery_virt;
+          cls = 1;
+          key = e.tag;
+          event = Sw_vm.App.Disk_done { tag = e.tag };
+        })
+    from.disk_waiting;
+  i.crashed <- false;
+  let virt = Sw_vm.Guest.virt_now guest in
+  Replica_group.reinstate i.group i.member ~now ~virt ~like:from.member;
+  if trace_on i then begin
+    emit i
+      (Event.Fault_replica_restart
+         { vm = i.vm_id; replica = Replica_group.replica_id i.member });
+    emit i
+      (Event.Degrade_reintegrated
+         {
+           vm = i.vm_id;
+           replica = Replica_group.replica_id i.member;
+           quorum = Replica_group.quorum i.group;
+         })
+  end;
+  Machine.wake i.mach
+
+(* Liveness heartbeats are engine-scheduled, independent of guest slices: an
+   epoch- or skew-blocked replica stops exiting but keeps beating, so the
+   watchdog only fires on genuinely dead (or unreachable) replicas. The tick
+   keeps running across a crash window — muted while crashed — so a restarted
+   replica resumes beating without re-arming. *)
+let start_heartbeat (i : instance) period =
+  let engine = Machine.engine i.mach in
+  let my_id = Replica_group.replica_id i.member in
+  let rec tick () =
+    ignore
+      (Engine.schedule_after ~kind:"vmm.heartbeat" engine period (fun () ->
+           if not i.crashed then begin
+             let payload = Vmm_alive { vm = i.vm_id; replica = my_id } in
+             (match i.channel with
+             | Some ep -> Sw_net.Multicast.publish ep ~size:64 payload
+             | None ->
+                 List.iter
+                   (fun peer ->
+                     let pkt =
+                       Packet.make ~src:(Machine.address i.mach) ~dst:peer
+                         ~size:64
+                         ~seq:(Sw_net.Network.fresh_seq (Machine.network i.mach))
+                         payload
+                     in
+                     Machine.transmit i.mach pkt)
+                   i.peers);
+             Replica_group.note_seen i.group i.member ~now:(Engine.now engine)
+           end;
+           tick ()))
+  in
+  tick ()
 
 let create mach =
   let t =
@@ -548,10 +719,14 @@ let host ?channel ?start t ~group ~app ~peers =
       (Replica_group.add_member group ~machine:(Machine.id t.mach)
          ~wake:(fun () -> Machine.wake t.mach)
          ~apply_slope:(fun ~at_instr ~slope_ns_per_branch ->
-           (match !instance_holder with
-           | Some i -> log_op i (L_slope (at_instr, slope_ns_per_branch))
-           | None -> ());
-           Sw_vm.Virtual_time.set_slope vt ~at_instr ~slope_ns_per_branch)
+           (* Through the instance once it exists: after a recovery the live
+              clock is the rebuilt one, not the boot-time [vt]. *)
+           match !instance_holder with
+           | Some i ->
+               log_op i (L_slope (at_instr, slope_ns_per_branch));
+               Sw_vm.Virtual_time.set_slope i.vt ~at_instr ~slope_ns_per_branch
+           | None ->
+               Sw_vm.Virtual_time.set_slope vt ~at_instr ~slope_ns_per_branch)
          ~send_report:(fun ~epoch ~d ~r ->
            let payload =
              Packet.Epoch_report
@@ -598,6 +773,8 @@ let host ?channel ?start t ~group ~app ~peers =
       group;
       member = !member_ref;
       guest;
+      vt;
+      crashed = false;
       app_factory = app;
       sinks;
       vt_start = start;
@@ -635,11 +812,16 @@ let host ?channel ?start t ~group ~app ~peers =
       Hashtbl.replace t.mcast_routes (Sw_net.Multicast.group_id g) ep
   | None -> ());
   Hashtbl.add t.instances vm_id i;
+  (* Membership changes can complete deliveries this replica was holding for
+     a now-dead voter's proposal. *)
+  Replica_group.on_membership_change group (fun () -> rescan_inbound i);
   Sw_vm.Guest.boot guest;
   Machine.attach t.mach
     {
       Machine.name = Printf.sprintf "vm%d/r%d" vm_id (Replica_group.replica_id i.member);
-      runnable = (fun () -> not (Replica_group.blocked group i.member));
+      runnable =
+        (fun () -> (not i.crashed) && not (Replica_group.blocked group i.member));
       on_slice_end = (fun ~slice_start -> on_slice_end t i ~slice_start);
     };
+  Option.iter (start_heartbeat i) config.Config.vmm_heartbeat;
   i

@@ -97,3 +97,30 @@ val rebuild : instance -> Sw_vm.Guest.t
 
 (** [recover i] rebuilds and swaps the clone in as the live guest. *)
 val recover : instance -> unit
+
+(** {1 Crash and restart (fault injection / graceful degradation)} *)
+
+(** This replica's group membership handle (liveness and quorum queries). *)
+val member : instance -> Replica_group.member
+
+(** The replica's PGM endpoint on the VM's multicast channel, when hosted
+    with one — the partition hook fault injection cuts. *)
+val channel_endpoint : instance -> Sw_net.Multicast.endpoint option
+
+(** [crash i] kills the replica process: its guest stops receiving slices,
+    its heartbeats stop, and packets addressed to it are dropped. The VMM
+    and machine keep running (process death, not machine death). Idempotent.
+    Emits {!Sw_obs.Event.Fault_replica_crash} when traced. *)
+val crash : instance -> unit
+
+val crashed : instance -> bool
+
+(** [reintegrate i ~from] restarts a crashed replica behind a resync
+    barrier: rebuilds its guest by deterministic replay of the surviving
+    peer replica [from]'s history (requires [Config.replay_log]), copies
+    [from]'s pending-delivery horizon, and reinstates the member in the
+    group ({!Replica_group.reinstate}) — quorum grows back and the watchdog
+    resumes monitoring it. In-flight DMA completions are not recoverable
+    across the barrier (in-flight disk completions are). Raises unless [i]
+    is crashed and [from] is a live peer replica of the same VM. *)
+val reintegrate : instance -> from:instance -> unit
