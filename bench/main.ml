@@ -29,6 +29,7 @@ let experiments =
     ("ablation", fun ~pool -> Bench_ablation.run ?pool ());
     ("scale", fun ~pool:_ -> Bench_scale.run ());
     ("micro", fun ~pool:_ -> Bench_micro.run ());
+    ("engine", fun ~pool:_ -> Bench_engine.run ());
     ("chaos", fun ~pool -> Bench_chaos.run ?pool ());
     ("quick", fun ~pool -> Bench_quick.run ?pool ());
   ]
@@ -60,6 +61,7 @@ let parse_args () =
         exit 2
     | ("-quick" | "--quick") :: rest ->
         Bench_chaos.quick := true;
+        Bench_engine.quick := true;
         go rest
     | name :: rest ->
         names := name :: !names;

@@ -1,8 +1,8 @@
 module Counter = struct
   type t = { mutable v : int }
 
-  let incr t = t.v <- t.v + 1
-  let add t n = t.v <- t.v + n
+  let[@inline] incr t = t.v <- t.v + 1
+  let[@inline] add t n = t.v <- t.v + n
   let value t = t.v
   let reset t = t.v <- 0
 end
@@ -15,10 +15,14 @@ module Sum = struct
 end
 
 module Gauge = struct
-  type t = { mutable v : float }
+  (* Two watermarks, merged on read: [v] for float observations and [vi] for
+     the unboxed int fast path ([observe_int] is a compare and a store —
+     no float boxing on the scheduling hot loop). *)
+  type t = { mutable v : float; mutable vi : int }
 
   let observe t x = if x > t.v then t.v <- x
-  let value t = t.v
+  let[@inline] observe_int t x = if x > t.vi then t.vi <- x
+  let value t = Float.max t.v (float_of_int t.vi)
 end
 
 module Histogram = struct
@@ -59,9 +63,14 @@ type metric =
   | M_gauge of Gauge.t
   | M_histogram of Histogram.t
 
-type t = { metrics : (string, metric) Hashtbl.t }
+(* [on] is the hot-path master switch: producers that batch several updates
+   behind one branch (e.g. the engine's per-event accounting) test it once
+   per operation instead of paying each instrument unconditionally. *)
+type t = { metrics : (string, metric) Hashtbl.t; mutable on : bool }
 
-let create () = { metrics = Hashtbl.create 64 }
+let create () = { metrics = Hashtbl.create 64; on = true }
+let[@inline] enabled t = t.on
+let set_enabled t on = t.on <- on
 
 let valid_path_char = function
   | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
@@ -110,7 +119,7 @@ let sum t path =
 
 let gauge t path =
   register t path ~kind:"gauge"
-    ~make:(fun () -> M_gauge { Gauge.v = 0. })
+    ~make:(fun () -> M_gauge { Gauge.v = 0.; vi = 0 })
     ~cast:(function M_gauge g -> Some g | _ -> None)
 
 let histogram t path =
@@ -121,7 +130,7 @@ let histogram t path =
 let data_of_metric = function
   | M_counter c -> Snapshot.Counter c.Counter.v
   | M_sum s -> Snapshot.Sum s.Sum.v
-  | M_gauge g -> Snapshot.Gauge g.Gauge.v
+  | M_gauge g -> Snapshot.Gauge (Gauge.value g)
   | M_histogram h ->
       let buckets = ref [] in
       for i = Buckets.count - 1 downto 0 do

@@ -43,6 +43,11 @@ module Gauge : sig
   (** [observe g v] raises the watermark to [v] when [v] is larger. *)
   val observe : t -> float -> unit
 
+  (** Unboxed fast path: like {!observe} but an int compare-and-store, no
+      float conversion or boxing. The watermark reported by {!value} is the
+      max across both paths. *)
+  val observe_int : t -> int -> unit
+
   val value : t -> float
 end
 
@@ -63,6 +68,16 @@ module Histogram : sig
 end
 
 val create : unit -> t
+
+(** Hot-path master switch, [true] at creation. Producers with several
+    instrument updates per operation test [enabled] once and skip the whole
+    block when the registry is off — one load and one branch instead of
+    unconditional metric work. Instruments obtained from a disabled registry
+    still work if bumped directly; the switch is a contract between producer
+    and registry, not a lock. *)
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
 
 (** [counter t path] returns the counter registered at [path], creating it on
     first use. Raises [Invalid_argument] when [path] is empty, contains

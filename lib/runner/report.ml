@@ -139,11 +139,14 @@ let of_metrics snapshot =
   in
   Obj (List.map (fun (name, d) -> (name, data d)) (Snapshot.to_list snapshot))
 
-let bench_file ?metrics ~workers ~wall_s ~timings ~experiments () =
+let bench_file ?metrics ?perf ~workers ~wall_s ~timings ~experiments () =
   let metrics_field =
     match metrics with
     | None -> []
     | Some snapshot -> [ ("metrics", of_metrics snapshot) ]
+  in
+  let perf_field =
+    match perf with None -> [] | Some rows -> [ ("perf", Obj rows) ]
   in
   Obj
     ([
@@ -151,7 +154,7 @@ let bench_file ?metrics ~workers ~wall_s ~timings ~experiments () =
        ("workers", Int workers);
        ("experiments", Obj experiments);
      ]
-    @ metrics_field
+    @ metrics_field @ perf_field
     @ [
         ( "timing",
           Obj

@@ -49,14 +49,17 @@ val of_outcome : ('a -> t) -> 'a Runner.outcome -> t
     to equal bytes either way. *)
 val of_metrics : Sw_obs.Snapshot.t -> t
 
-(** [bench_file ?metrics ~workers ~wall_s ~timings ~experiments ()] assembles
-    the [BENCH_results.json] document. Everything under ["experiments"] — and
-    ["metrics"], when a merged snapshot is supplied — is deterministic (same
-    bytes for any worker count); worker count and wall-clock readings live
-    under ["workers"] / ["timing"] so consumers — and the determinism test —
-    can split the two. *)
+(** [bench_file ?metrics ?perf ~workers ~wall_s ~timings ~experiments ()]
+    assembles the [BENCH_results.json] document. Everything under
+    ["experiments"] — and ["metrics"], when a merged snapshot is supplied —
+    is deterministic (same bytes for any worker count); worker count,
+    wall-clock readings and the engine micro-benchmark's throughput rows
+    (["perf"], one object per workload) live under ["workers"] / ["timing"]
+    / ["perf"] so consumers — and the determinism test — can split the
+    two. *)
 val bench_file :
   ?metrics:Sw_obs.Snapshot.t ->
+  ?perf:(string * t) list ->
   workers:int ->
   wall_s:float ->
   timings:(string * float) list ->

@@ -1,6 +1,4 @@
-type event = { fn : unit -> unit; mutable cancelled : bool }
-
-type event_id = event
+type event_id = Wheel.handle
 
 type kind_hooks = {
   k_scheduled : Sw_obs.Registry.Counter.t;
@@ -9,8 +7,7 @@ type kind_hooks = {
 
 type t = {
   mutable now : Time.t;
-  heap : event Heap.t;
-  mutable seq : int;
+  wheel : Wheel.t;
   mutable live : int;
   root_rng : Prng.t;
   metrics : Sw_obs.Registry.t;
@@ -27,8 +24,7 @@ let create ?(seed = 0x5397_BA1DL) ?metrics () =
   in
   {
     now = Time.zero;
-    heap = Heap.create ();
-    seq = 0;
+    wheel = Wheel.create ();
     live = 0;
     root_rng = Prng.create seed;
     metrics;
@@ -65,63 +61,68 @@ let schedule_at ?kind t at fn =
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is before now (%a)" Time.pp at
          Time.pp t.now);
-  let ev = { fn; cancelled = false } in
-  Heap.push t.heap ~key:at ~seq:t.seq ev;
-  t.seq <- t.seq + 1;
+  let id = Wheel.add t.wheel ~key:at fn in
   t.live <- t.live + 1;
-  Sw_obs.Registry.Counter.incr t.m_scheduled;
-  Sw_obs.Registry.Gauge.observe t.m_depth (float_of_int t.live);
-  (match kind with
-  | None -> ()
-  | Some kind ->
-      let h = kind_hooks t kind in
-      Sw_obs.Registry.Counter.incr h.k_scheduled;
-      Sw_obs.Registry.Histogram.observe h.k_delay (Time.sub at t.now));
-  ev
+  (* One load and one branch when the registry is disabled: no counter
+     bumps, no kind-hook lookup, no histogram observation. *)
+  if Sw_obs.Registry.enabled t.metrics then begin
+    Sw_obs.Registry.Counter.incr t.m_scheduled;
+    Sw_obs.Registry.Gauge.observe_int t.m_depth t.live;
+    match kind with
+    | None -> ()
+    | Some kind ->
+        let h = kind_hooks t kind in
+        Sw_obs.Registry.Counter.incr h.k_scheduled;
+        Sw_obs.Registry.Histogram.observe h.k_delay (Time.sub at t.now)
+  end;
+  id
 
 let schedule_after ?kind t delay fn =
   if Time.is_negative delay then
     invalid_arg "Engine.schedule_after: negative delay";
   schedule_at ?kind t (Time.add t.now delay) fn
 
-let cancel t ev =
-  if not ev.cancelled then begin
-    ev.cancelled <- true;
+let cancel t id =
+  (* The wheel refuses stale handles (already fired, already cancelled, or
+     recycled), so a late cancel cannot double-decrement [live]. *)
+  if Wheel.cancel t.wheel id then begin
     t.live <- t.live - 1;
-    Sw_obs.Registry.Counter.incr t.m_cancelled
+    if Sw_obs.Registry.enabled t.metrics then begin
+      Sw_obs.Registry.Counter.incr t.m_cancelled;
+      Sw_obs.Registry.Gauge.observe_int t.m_depth t.live
+    end
   end
 
-let rec step t =
-  match Heap.pop_min t.heap with
+let step t =
+  match Wheel.pop t.wheel with
   | None -> false
-  | Some (at, _, ev) ->
-      if ev.cancelled then step t
-      else begin
-        t.now <- at;
-        t.live <- t.live - 1;
+  | Some (at, fn) ->
+      t.now <- at;
+      t.live <- t.live - 1;
+      if Sw_obs.Registry.enabled t.metrics then begin
         Sw_obs.Registry.Counter.incr t.m_fired;
-        ev.fn ();
-        true
-      end
+        Sw_obs.Registry.Gauge.observe_int t.m_depth t.live
+      end;
+      fn ();
+      true
 
-let rec run ?until t =
-  match Heap.peek_min t.heap with
+let run ?until t =
+  match until with
   | None ->
-      (* The queue drained early; simulated time still passes. *)
-      (match until with
-      | Some limit when Time.(limit > t.now) -> t.now <- limit
-      | _ -> ())
-  | Some (at, _, ev) -> (
-      if ev.cancelled then begin
-        ignore (Heap.pop_min t.heap);
-        run ?until t
-      end
-      else
-        match until with
-        | Some limit when Time.(at > limit) -> t.now <- limit
-        | _ ->
-            ignore (step t);
-            run ?until t)
+      let rec go () = if step t then go () in
+      go ()
+  | Some limit ->
+      let rec go () =
+        if Wheel.next_at_or_before t.wheel limit then begin
+          ignore (step t);
+          go ()
+        end
+      in
+      go ();
+      (* Bounded runs always land exactly on the limit, including when the
+         queue drained early: simulated time still passes. The clock never
+         rewinds. *)
+      if Time.(limit > t.now) then t.now <- limit
 
 let pending t = t.live
 let fired t = Sw_obs.Registry.Counter.value t.m_fired

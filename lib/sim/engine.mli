@@ -1,12 +1,18 @@
 (** Discrete-event simulation engine.
 
-    The engine owns the simulated clock, a priority queue of pending events,
-    and the simulation's metric registry. Events scheduled for the same
-    instant fire in the order they were scheduled, so runs are
-    deterministic. *)
+    The engine owns the simulated clock, the pending-event queue (a
+    hierarchical timer wheel with a heap overflow tier — see {!Wheel}), and
+    the simulation's metric registry. Events scheduled for the same instant
+    fire in the order they were scheduled, so runs are deterministic.
+
+    The engine's own per-event accounting sits behind the registry's
+    {!Sw_obs.Registry.enabled} switch: one load and one branch per
+    operation when metrics are off. *)
 
 type t
 
+(** Packed immediate identifying one scheduled event; goes stale when the
+    event fires, so a late {!cancel} through it is a safe no-op. *)
 type event_id
 
 (** [create ~seed ~metrics ()] makes an engine whose clock starts at
@@ -40,14 +46,17 @@ val schedule_at : ?kind:string -> t -> Time.t -> (unit -> unit) -> event_id
 val schedule_after : ?kind:string -> t -> Time.t -> (unit -> unit) -> event_id
 
 (** [cancel t id] prevents the event from firing; cancelling an already-fired
-    or already-cancelled event is a no-op. *)
+    or already-cancelled event is a no-op — in particular it never perturbs
+    {!pending}. *)
 val cancel : t -> event_id -> unit
 
 (** [step t] fires the next event; [false] when no events remain. *)
 val step : t -> bool
 
 (** [run ?until t] fires events until the queue drains or the clock would
-    pass [until] (events at exactly [until] do fire). *)
+    pass [until] (events at exactly [until] do fire). With [until] the clock
+    then parks exactly at [until], even when the queue drained early; the
+    clock never moves backwards. *)
 val run : ?until:Time.t -> t -> unit
 
 (** Number of pending (uncancelled) events. *)

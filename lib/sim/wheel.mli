@@ -1,0 +1,63 @@
+(** Hierarchical timer wheel with a heap overflow tier — the engine's
+    scheduling core.
+
+    The structure owns a pool of reusable event records and keeps them in
+    three tiers:
+
+    - a {b ready heap}: a small binary heap, ordered by [(key, seq)], holding
+      every pending event whose key is below the drained horizon;
+    - the {b wheel}: [levels] rings of [2^5] slots each, level [l] covering
+      [2^(9 + 5l)] ns per slot, into which near-future events (the
+      overwhelming majority: periodic timers, slice ticks, bounded-offset
+      deliveries) are filed in O(1);
+    - an {b overflow tier}: the existing binary {!Heap}, for the rare events
+      beyond the top level's ~550 s span, cascaded back in as the horizon
+      approaches them.
+
+    Slots only stage events; everything is funnelled through the ready heap
+    before it is handed out, so the firing order is the engine's historical
+    contract — strictly nondecreasing [key] with FIFO [seq] tiebreak —
+    regardless of which tier an event waited in or how it cascaded.
+
+    Event records are recycled through a free list and addressed by integer
+    {!handle}s carrying a generation stamp: scheduling allocates nothing on
+    the steady-state path, and a handle whose record has since fired (and
+    possibly been reused) is recognised as stale, making late {!cancel}s
+    safe no-ops. *)
+
+type t
+
+(** A claim ticket for one scheduled event. Handles are plain immediates
+    (no allocation) and become stale once the event fires or its
+    cancellation is collected. *)
+type handle
+
+val create : unit -> t
+
+(** [add t ~key fn] files [fn] under [key] (an absolute instant in ns,
+    assumed [>= ] every key already popped) and returns a handle for
+    {!cancel}. Sequence numbers are assigned in call order, so equal keys
+    fire FIFO. *)
+val add : t -> key:int64 -> (unit -> unit) -> handle
+
+(** [cancel t h] tombstones the event if [h] is still current and pending;
+    returns [false] — and changes nothing — when the event already fired,
+    was already cancelled, or [h] is stale. Tombstoned records are
+    reclaimed lazily as the tiers drain past them. *)
+val cancel : t -> handle -> bool
+
+(** Key of the earliest pending (uncancelled) event, if any. *)
+val peek_key : t -> int64 option
+
+(** [next_at_or_before t limit] is [true] when a pending event with
+    [key <= limit] exists — an allocation-free [peek_key] for bounded run
+    loops. *)
+val next_at_or_before : t -> int64 -> bool
+
+(** Pops the earliest pending event as [(key, fn)], recycling its record
+    (the handle goes stale before [fn] is even called). *)
+val pop : t -> (int64 * (unit -> unit)) option
+
+(** Number of records currently held (pending plus uncollected tombstones);
+    [0] means fully drained. *)
+val length : t -> int

@@ -43,6 +43,45 @@ let sample_median samples =
   Array.sort Float.compare sorted;
   sorted.(n / 2)
 
+(* Allocation-free sample medians for the small odd vote counts the VMM
+   takes per replicated interrupt (3 replicas, occasionally 5 with spares).
+   Branch networks instead of copy + sort: a handful of compares, no
+   intermediate array, no comparator closure. *)
+
+let median3_int64 a b c =
+  if a <= b then if b <= c then b else if a <= c then c else a
+  else if a <= c then a
+  else if b <= c then c
+  else b
+
+let median5_int64 a b c d e =
+  (* Median of five via a 6-compare network: f is the larger of the two
+     pairwise minima, g the smaller of the two pairwise maxima; the median
+     of {e, f, g} is the median of all five. *)
+  let f =
+    let x = if a <= b then a else b and y = if c <= d then c else d in
+    if x >= y then x else y
+  in
+  let g =
+    let x = if a >= b then a else b and y = if c >= d then c else d in
+    if x <= y then x else y
+  in
+  median3_int64 e f g
+
+let median_int64 samples =
+  let n = Array.length samples in
+  if n mod 2 = 0 then invalid_arg "Order_stats.median_int64: even count";
+  match n with
+  | 1 -> samples.(0)
+  | 3 -> median3_int64 samples.(0) samples.(1) samples.(2)
+  | 5 ->
+      median5_int64 samples.(0) samples.(1) samples.(2) samples.(3)
+        samples.(4)
+  | _ ->
+      let sorted = Array.copy samples in
+      Array.sort Int64.compare sorted;
+      sorted.(n / 2)
+
 let median_dist dists =
   let m = Array.length dists in
   if m mod 2 = 0 then invalid_arg "Order_stats.median_dist: even count";

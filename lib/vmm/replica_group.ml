@@ -101,12 +101,13 @@ let add_member t ~machine ~wake ~apply_slope ~send_report =
   t.members <- Array.append t.members [| m |];
   m
 
+(* Vote counts are 3 (or 5 with spares) per replicated interrupt, so this
+   sits on the delivery hot path; the branch networks in [Order_stats] take
+   the small odd cases without copying or sorting. *)
 let median_time times =
-  let n = Array.length times in
-  if n mod 2 = 0 then invalid_arg "Replica_group.median_time: even count";
-  let sorted = Array.copy times in
-  Array.sort Time.compare sorted;
-  sorted.(n / 2)
+  if Array.length times mod 2 = 0 then
+    invalid_arg "Replica_group.median_time: even count";
+  Sw_stats.Order_stats.median_int64 times
 
 let active m = m.active
 let last_seen m = m.last_seen
@@ -143,29 +144,46 @@ let blocked _t m = m.blocked_skew || m.blocked_epoch
    a crashed replica's frozen virtual time must not pin the survivors, and an
    ejected-but-live member free-runs as a non-voting bystander. *)
 let update_skew t =
-  let live = Array.of_list (List.filter (fun m -> m.active) (Array.to_list t.members)) in
-  let n = Array.length live in
-  if n >= 2 then begin
-    let virts = Array.map (fun m -> m.virt) live in
-    Array.sort (fun a b -> Time.compare b a) virts;
-    let fastest = virts.(0) and second = virts.(1) in
+  (* Runs on every VM exit, so the two largest virtual times come from a
+     single scan over the members — no intermediate list, array or sort.
+     Duplicated maxima land in both [fastest] and [second], exactly as the
+     two head elements of a descending sort would. *)
+  let live = ref 0 in
+  let fastest = ref Time.zero and second = ref Time.zero in
+  Array.iter
+    (fun m ->
+      if m.active then begin
+        incr live;
+        if !live = 1 then fastest := m.virt
+        else if Time.(m.virt > !fastest) then begin
+          second := !fastest;
+          fastest := m.virt
+        end
+        else if !live = 2 then second := m.virt
+        else if Time.(m.virt > !second) then second := m.virt
+      end)
+    t.members;
+  if !live >= 2 then begin
+    let fastest = !fastest and second = !second in
     let limit = t.config.Config.skew_bound in
     Array.iter
       (fun m ->
-        let should_block =
-          Time.equal m.virt fastest
-          && Time.(Time.sub fastest second > limit)
-        in
-        if m.blocked_skew && not should_block then begin
-          m.blocked_skew <- false;
-          m.wake ()
-        end
-        else begin
-          if should_block && not m.blocked_skew then
-            Registry.Counter.incr t.m_skew_blocks;
-          m.blocked_skew <- should_block
+        if m.active then begin
+          let should_block =
+            Time.equal m.virt fastest
+            && Time.(Time.sub fastest second > limit)
+          in
+          if m.blocked_skew && not should_block then begin
+            m.blocked_skew <- false;
+            m.wake ()
+          end
+          else begin
+            if should_block && not m.blocked_skew then
+              Registry.Counter.incr t.m_skew_blocks;
+            m.blocked_skew <- should_block
+          end
         end)
-      live
+      t.members
   end
 
 (* Try to resolve the epoch this member is blocked on: needs its own

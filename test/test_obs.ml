@@ -42,6 +42,40 @@ let test_sum_gauge () =
   Alcotest.(check (float 0.)) "gauge is a watermark" 7.
     (Registry.Gauge.value g)
 
+let test_gauge_observe_int () =
+  (* The unboxed int path and the float path share one watermark; snapshots
+     report the max across both. *)
+  let r = Registry.create () in
+  let g = Registry.gauge r "depth" in
+  Registry.Gauge.observe_int g 4;
+  Registry.Gauge.observe_int g 9;
+  Registry.Gauge.observe_int g 2;
+  Alcotest.(check (float 0.)) "int watermark" 9. (Registry.Gauge.value g);
+  Registry.Gauge.observe g 11.5;
+  Alcotest.(check (float 0.)) "float path can raise it" 11.5
+    (Registry.Gauge.value g);
+  Registry.Gauge.observe_int g 11;
+  Alcotest.(check (float 0.)) "lower int does not" 11.5
+    (Registry.Gauge.value g);
+  match Sw_obs.Snapshot.find (Registry.snapshot r) "depth" with
+  | Some (Sw_obs.Snapshot.Gauge v) ->
+      Alcotest.(check (float 0.)) "snapshot sees merged watermark" 11.5 v
+  | _ -> Alcotest.fail "gauge missing from snapshot"
+
+let test_enabled_switch () =
+  (* [enabled] is the one-branch producer contract: on by default, and the
+     instruments keep working either way — producers choose to skip. *)
+  let r = Registry.create () in
+  Alcotest.(check bool) "on at creation" true (Registry.enabled r);
+  Registry.set_enabled r false;
+  Alcotest.(check bool) "off" false (Registry.enabled r);
+  let c = Registry.counter r "hits" in
+  if Registry.enabled r then Registry.Counter.incr c;
+  Alcotest.(check int) "producer skipped the bump" 0 (Registry.Counter.value c);
+  Registry.set_enabled r true;
+  if Registry.enabled r then Registry.Counter.incr c;
+  Alcotest.(check int) "and takes it when on" 1 (Registry.Counter.value c)
+
 let test_histogram () =
   let r = Registry.create () in
   let h = Registry.histogram r "lat" in
@@ -313,6 +347,8 @@ let () =
         [
           Alcotest.test_case "counter" `Quick test_counter;
           Alcotest.test_case "sum and gauge" `Quick test_sum_gauge;
+          Alcotest.test_case "gauge observe_int" `Quick test_gauge_observe_int;
+          Alcotest.test_case "enabled switch" `Quick test_enabled_switch;
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "path validation" `Quick test_path_validation;
         ] );

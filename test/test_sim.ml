@@ -211,6 +211,149 @@ let test_engine_nested_schedule () =
   Engine.run e;
   Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
 
+let test_engine_late_cancel_after_fire () =
+  (* Regression: cancelling an event that already fired must be a no-op —
+     in particular it must not decrement the pending count again. *)
+  let e = Engine.create () in
+  let id = Engine.schedule_at e (Time.ms 1) (fun () -> ()) in
+  ignore (Engine.schedule_at e (Time.ms 2) (fun () -> ()));
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e);
+  Engine.cancel e id;
+  Engine.cancel e id;
+  Alcotest.(check int) "late cancel keeps pending at 0" 0 (Engine.pending e);
+  (* Double cancel of a still-pending event decrements exactly once. *)
+  let id2 = Engine.schedule_after e (Time.ms 1) (fun () -> ()) in
+  Engine.cancel e id2;
+  Engine.cancel e id2;
+  Alcotest.(check int) "double cancel counts once" 0 (Engine.pending e);
+  (* The engine still works normally afterwards. *)
+  let fired = ref false in
+  ignore (Engine.schedule_after e (Time.ms 1) (fun () -> fired := true));
+  Engine.run e;
+  Alcotest.(check bool) "still fires" true !fired
+
+let test_engine_far_future () =
+  (* Events beyond the wheel's ~550 s span take the overflow tier; ordering
+     and the FIFO tiebreak must hold across tiers, including an equal-key
+     pair where one event was filed far (overflow) and the other near. *)
+  let e = Engine.create () in
+  let log = ref [] in
+  let far = Time.s 3600 in
+  ignore (Engine.schedule_at e far (fun () -> log := "far0" :: !log));
+  ignore (Engine.schedule_at e (Time.ms 1) (fun () -> log := "near" :: !log));
+  ignore
+    (Engine.schedule_at e (Time.ms 1) (fun () ->
+         ignore (Engine.schedule_at e far (fun () -> log := "far1" :: !log))));
+  Engine.run e;
+  Alcotest.(check (list string))
+    "across tiers" [ "near"; "far0"; "far1" ] (List.rev !log);
+  Alcotest.(check int64) "clock at far event" far (Engine.now e)
+
+let test_engine_depth_gauge () =
+  (* sim.queue.depth is a high-watermark over the live count, kept accurate
+     through schedule, fire and cancel. *)
+  let e = Engine.create () in
+  let g = Sw_obs.Registry.gauge (Engine.metrics e) "sim.queue.depth" in
+  let ids = List.init 5 (fun i -> Engine.schedule_at e (Time.ms (i + 1)) (fun () -> ())) in
+  Alcotest.(check (float 0.)) "peak after schedules" 5. (Sw_obs.Registry.Gauge.value g);
+  Engine.cancel e (List.hd ids);
+  Engine.run e;
+  Alcotest.(check (float 0.)) "watermark survives drain" 5. (Sw_obs.Registry.Gauge.value g);
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+(* Model test: the wheel + overflow engine against a naive sorted-list
+   scheduler, over random interleavings of schedule (near and far), cancel
+   (including stale ones), step, and bounded run. Firing order, final clock
+   and pending count must agree exactly. *)
+let prop_engine_matches_model =
+  let open QCheck in
+  QCheck.Test.make ~name:"engine matches sorted-list model" ~count:120
+    (list_of_size Gen.(int_range 1 120) (pair (int_bound 5) (int_bound 1_000_000)))
+    (fun ops ->
+      let e = Engine.create () in
+      let elog = ref [] and mlog = ref [] in
+      let mnow = ref 0L in
+      (* Model queue: (key, id) pending, FIFO by id on equal keys since ids
+         are issued in schedule order. *)
+      let mq = ref [] in
+      let issued = ref [||] in
+      let next_id = ref 0 in
+      let mpop () =
+        let min =
+          List.fold_left
+            (fun acc (k, i) ->
+              match acc with
+              | None -> Some (k, i)
+              | Some (k', i') ->
+                  if k < k' || (k = k' && i < i') then Some (k, i) else acc)
+            None !mq
+        in
+        match min with
+        | None -> None
+        | Some (k, i) ->
+            mq := List.filter (fun (_, j) -> j <> i) !mq;
+            mnow := k;
+            mlog := i :: !mlog;
+            Some k
+      in
+      List.iter
+        (fun (tag, payload) ->
+          match tag with
+          | 0 | 1 ->
+              (* Near schedule: up to 2 ms out. Far schedule: whole seconds,
+                 up to 700 s so the overflow tier participates. *)
+              let delay =
+                if tag = 1 && payload mod 7 = 0 then
+                  Time.s (1 + (payload mod 700))
+                else Int64.of_int (payload mod 2_000_000)
+              in
+              let at = Int64.add (Engine.now e) delay in
+              let id = !next_id in
+              incr next_id;
+              let h = Engine.schedule_at e at (fun () -> elog := id :: !elog) in
+              issued := Array.append !issued [| h |];
+              mq := (at, id) :: !mq
+          | 2 ->
+              if Array.length !issued > 0 then begin
+                let k = payload mod Array.length !issued in
+                Engine.cancel e !issued.(k);
+                mq := List.filter (fun (_, j) -> j <> k) !mq
+              end
+          | 3 ->
+              ignore (Engine.step e);
+              ignore (mpop ())
+          | _ ->
+              let lim = Int64.add (Engine.now e) (Int64.of_int payload) in
+              Engine.run ~until:lim e;
+              let rec go () =
+                match
+                  List.fold_left
+                    (fun acc (k, i) ->
+                      match acc with
+                      | None -> Some (k, i)
+                      | Some (k', i') ->
+                          if k < k' || (k = k' && i < i') then Some (k, i)
+                          else acc)
+                    None !mq
+                with
+                | Some (k, i) when k <= lim ->
+                    mq := List.filter (fun (_, j) -> j <> i) !mq;
+                    mnow := k;
+                    mlog := i :: !mlog;
+                    go ()
+                | _ -> ()
+              in
+              go ();
+              if lim > !mnow then mnow := lim)
+        ops;
+      Engine.run e;
+      let rec drain () = match mpop () with Some _ -> drain () | None -> () in
+      drain ();
+      List.rev !elog = List.rev !mlog
+      && Engine.pending e = 0
+      && Engine.now e = !mnow)
+
 (* --- Summary / Samples --------------------------------------------------- *)
 
 let test_summary_basic () =
@@ -331,6 +474,12 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "past rejected" `Quick test_engine_past_rejected;
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "late cancel after fire" `Quick
+            test_engine_late_cancel_after_fire;
+          Alcotest.test_case "far-future overflow tier" `Quick
+            test_engine_far_future;
+          Alcotest.test_case "queue depth gauge" `Quick test_engine_depth_gauge;
+          QCheck_alcotest.to_alcotest prop_engine_matches_model;
         ] );
       ( "collectors",
         [
