@@ -18,7 +18,9 @@ let run () =
   let d = Cloud.deploy cloud ~on:[ 0; 1; 2 ] ~app:(Sw_apps.Probe.receiver ()) in
   let trace = Trace.create () in
   Trace.enable trace;
-  List.iter (fun inst -> Sw_vmm.Vmm.set_trace inst trace) (Cloud.replicas d);
+  (* Cloud-wide attachment: the ingress and egress edge nodes emit too, so
+     the printed trace starts at the replication fan-out. *)
+  Cloud.attach_trace cloud trace;
   let client = Cloud.add_host cloud () in
   Stopwatch.Host.after client (Time.ms 100) (fun () ->
       Stopwatch.Host.send client ~dst:(Cloud.vm_address d) ~size:100
@@ -31,7 +33,8 @@ let run () =
   Trace.iter trace (fun entry ->
       match entry.Trace.event with
       | Event.Packet_proposed _ | Event.Median_adopted _
-      | Event.Packet_delivered _ | Event.Divergence _ | Event.Span_begin _
+      | Event.Packet_delivered _ | Event.Ingress_replicated _
+      | Event.Egress_released _ | Event.Divergence _ | Event.Span_begin _
       | Event.Span_end _ ->
           Format.printf "%a@." Trace.pp_entry entry
       | Event.Vm_exit _ | Event.Disk_irq _ | Event.Dma_irq _ | Event.Message _

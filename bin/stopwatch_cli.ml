@@ -3,7 +3,9 @@
      stopwatch download -- file-retrieval benchmark (Fig. 5 point)
      stopwatch nfs      -- NFS latency benchmark (Fig. 6 point)
      stopwatch parsec   -- PARSEC runtime benchmark (Fig. 7 row)
-     stopwatch attack   -- timing-attack scenario (Fig. 4 / Sec. IX)  *)
+     stopwatch attack   -- timing-attack scenario (Fig. 4 / Sec. IX)
+     stopwatch trace    -- record a traced run; export Perfetto/JSONL,
+                           reconstruct causal lineage                    *)
 
 open Cmdliner
 
@@ -189,9 +191,291 @@ let attack_cmd =
     (Cmd.info "attack" ~doc:"Run a timing-attack scenario (Fig. 4 / Sec. IX)")
     Term.(const run $ seconds $ baseline $ victim $ colluder $ replicas)
 
+(* --- trace -------------------------------------------------------------- *)
+
+let escape_json buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* One object per line: timestamp, kind tag, structured fields rendered to
+   the event's canonical one-line description. *)
+let jsonl_of_entries ~meta entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"meta\":";
+  Buffer.add_string buf (Sw_obs.Export.meta_json meta);
+  Buffer.add_string buf "}\n";
+  List.iter
+    (fun (e : Sw_obs.Trace.entry) ->
+      Buffer.add_string buf "{\"at_ns\":";
+      Buffer.add_string buf (Int64.to_string e.Sw_obs.Trace.at_ns);
+      Buffer.add_string buf ",\"kind\":";
+      escape_json buf (Sw_obs.Event.label e.Sw_obs.Trace.event);
+      Buffer.add_string buf ",\"text\":";
+      escape_json buf
+        (Format.asprintf "%a" Sw_obs.Event.pp e.Sw_obs.Trace.event);
+      Buffer.add_string buf "}\n")
+    entries;
+  Buffer.contents buf
+
+(* [--filter vm=0 --filter kind=median ...]: OR within one key, AND across
+   keys. *)
+let parse_filters filters =
+  let vms = ref [] and replicas = ref [] and kinds = ref [] in
+  let bad = ref None in
+  List.iter
+    (fun f ->
+      match String.index_opt f '=' with
+      | None -> bad := Some f
+      | Some i -> (
+          let key = String.sub f 0 i in
+          let v = String.sub f (i + 1) (String.length f - i - 1) in
+          match key with
+          | "vm" -> (
+              match int_of_string_opt v with
+              | Some n -> vms := n :: !vms
+              | None -> bad := Some f)
+          | "replica" -> (
+              match int_of_string_opt v with
+              | Some n -> replicas := n :: !replicas
+              | None -> bad := Some f)
+          | "kind" -> kinds := v :: !kinds
+          | _ -> bad := Some f))
+    filters;
+  match !bad with
+  | Some f -> Error f
+  | None ->
+      let pass (e : Sw_obs.Trace.entry) =
+        let ev = e.Sw_obs.Trace.event in
+        (!vms = []
+        || match Sw_obs.Event.vm_of ev with
+           | Some vm -> List.mem vm !vms
+           | None -> false)
+        && (!replicas = []
+           || match Sw_obs.Event.replica_of ev with
+              | Some r -> List.mem r !replicas
+              | None -> false)
+        && (!kinds = [] || List.mem (Sw_obs.Event.label ev) !kinds)
+      in
+      Ok pass
+
+let write_output output data =
+  match output with
+  | None -> print_string data
+  | Some path ->
+      let oc = open_out path in
+      output_string oc data;
+      close_out oc
+
+(* Structural validation of a chrome export through the in-tree JSON
+   reader: parses, has a traceEvents array, and carries at least one
+   lineage flow edge. *)
+let smoke_check ~crash ~lineage_data json =
+  let module J = Sw_obs.Json in
+  let fail msg =
+    Printf.eprintf "trace smoke: FAIL: %s\n" msg;
+    Error ()
+  in
+  match J.parse json with
+  | Error e -> fail (Printf.sprintf "chrome export does not parse: %s" e)
+  | Ok root -> (
+      match Option.bind (J.member "traceEvents" root) J.to_list with
+      | None -> fail "no traceEvents array"
+      | Some events ->
+          let flows =
+            List.length
+              (List.filter
+                 (fun ev ->
+                   match Option.bind (J.member "ph" ev) J.to_string with
+                   | Some "s" -> true
+                   | _ -> false)
+                 events)
+          in
+          if flows = 0 then fail "no lineage flow arrows in export"
+          else
+            let orphans =
+              List.length (Sw_obs.Lineage.orphans lineage_data)
+            in
+            if crash && orphans = 0 then
+              fail "crash schedule produced no orphans"
+            else if (not crash) && orphans > 0 then
+              fail (Printf.sprintf "fault-free run has %d orphans" orphans)
+            else begin
+              Printf.printf
+                "trace smoke OK: %d trace events, %d flow edges, %d chains, \
+                 %d orphans\n"
+                (List.length events) flows
+                (Sw_obs.Lineage.total lineage_data)
+                orphans;
+              Ok ()
+            end)
+
+let trace_cmd =
+  let run seconds seed replicas baseline victim colluder capacity export output
+      lineage filters crash profile_on smoke =
+    let module S = Sw_attack.Scenario in
+    match parse_filters filters with
+    | Error f ->
+        Printf.eprintf
+          "error: bad --filter %S (expected vm=N, replica=N or kind=LABEL)\n" f;
+        1
+    | Ok pass ->
+        let tr = Sw_obs.Trace.create ~capacity () in
+        let profile =
+          if profile_on then Some (Sw_obs.Profile.create ~enabled:true ())
+          else None
+        in
+        let duration = Sw_sim.Time.s seconds in
+        let faults =
+          if crash then
+            (* Kill replica 0 of the attacker VM a quarter into the run, no
+               restart: with the default config (no watchdog) the survivors
+               stay quorum-starved, so every later packet's proposals never
+               reach a median — the Unadopted_proposal orphans the lineage
+               report tags. *)
+            [
+              Sw_fault.Schedule.at
+                (Sw_sim.Time.of_float_s (float_of_int seconds *. 0.25))
+                (Sw_fault.Fault.Replica_crash
+                   { vm = 0; replica = 0; restart_after = None });
+            ]
+          else Sw_fault.Schedule.empty
+        in
+        let spec =
+          S.with_replicas
+            {
+              S.default with
+              S.duration;
+              seed = Int64.of_int seed;
+              baseline;
+              victim;
+              colluder;
+              faults;
+              trace = Some tr;
+              profile;
+            }
+            replicas
+        in
+        ignore (S.run spec);
+        let entries = List.filter pass (Sw_obs.Trace.entries tr) in
+        let lineage_data =
+          Sw_obs.Lineage.of_entries ~dropped:(Sw_obs.Trace.dropped tr) entries
+        in
+        let meta =
+          Sw_obs.Export.meta ~seed:(Int64.of_int seed)
+            ~scenario:
+              (Printf.sprintf "attack m=%d baseline=%b victim=%b colluder=%b crash=%b"
+                 replicas baseline victim colluder crash)
+            ~trace_capacity:capacity
+            ~trace_dropped:(Sw_obs.Trace.dropped tr) ~registry_enabled:true ()
+        in
+        let chrome () = Sw_obs.Chrome.to_json ~meta ?profile entries in
+        (match export with
+        | Some `Chrome -> write_output output (chrome ())
+        | Some `Jsonl -> write_output output (jsonl_of_entries ~meta entries)
+        | None -> ());
+        (* Keep the summary off stdout when the export already went there. *)
+        let summary_fmt =
+          if lineage && export <> None && output = None then
+            Format.err_formatter
+          else Format.std_formatter
+        in
+        if lineage then
+          Format.fprintf summary_fmt "%a@?" Sw_obs.Lineage.pp_summary
+            lineage_data;
+        if smoke then
+          match smoke_check ~crash ~lineage_data (chrome ()) with
+          | Ok () -> 0
+          | Error () -> 1
+        else 0
+  in
+  let seconds = Arg.(value & opt int 2 & info [ "seconds" ] ~doc:"Duration.") in
+  let seed =
+    Arg.(value & opt int 0xA77ACC & info [ "seed" ] ~doc:"Simulation seed.")
+  in
+  let replicas = Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replica count.") in
+  let baseline = Arg.(value & flag & info [ "baseline" ] ~doc:"Unmodified Xen.") in
+  let victim = Arg.(value & flag & info [ "victim" ] ~doc:"Coresident victim.") in
+  let colluder = Arg.(value & flag & info [ "colluder" ] ~doc:"Sec. IX colluder.") in
+  let capacity =
+    Arg.(value & opt int 65536 & info [ "capacity" ] ~doc:"Trace ring capacity.")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ])) None
+      & info [ "export" ]
+          ~doc:"Export format: $(b,chrome) (Perfetto-loadable trace-event \
+                JSON with lineage flow arrows) or $(b,jsonl) (one event per \
+                line).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the export here (default stdout).")
+  in
+  let lineage =
+    Arg.(
+      value & flag
+      & info [ "lineage" ]
+          ~doc:"Print the causal-lineage summary (chains, lag histograms, \
+                median-win shares, skew, orphans).")
+  in
+  let filters =
+    Arg.(
+      value & opt_all string []
+      & info [ "filter" ]
+          ~doc:"Keep only matching events: $(b,vm=N), $(b,replica=N) or \
+                $(b,kind=LABEL). Repeatable; same-key filters OR, distinct \
+                keys AND.")
+  in
+  let crash =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:"Crash one replica a quarter into the run (no restart) to \
+                demonstrate orphan detection.")
+  in
+  let profile_on =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Enable wall-clock self-profiling; timers export as counter \
+                tracks. Non-deterministic — leave off when comparing \
+                exports byte for byte.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Validate the chrome export structurally (parses, has flow \
+                arrows, orphan count matches the fault schedule); exit \
+                non-zero on failure.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Record a traced scenario; export Perfetto/JSONL and reconstruct \
+             causal lineage")
+    Term.(
+      const run $ seconds $ seed $ replicas $ baseline $ victim $ colluder
+      $ capacity $ export $ output $ lineage $ filters $ crash $ profile_on
+      $ smoke)
+
 let () =
   let doc = "StopWatch: replicated-VM timing-channel mitigation (simulated)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "stopwatch" ~doc)
-          [ plan_cmd; download_cmd; nfs_cmd; parsec_cmd; attack_cmd ]))
+          [ plan_cmd; download_cmd; nfs_cmd; parsec_cmd; attack_cmd; trace_cmd ]))

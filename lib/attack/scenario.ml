@@ -15,6 +15,8 @@ type spec = {
   seed : int64;
   background_rate_per_s : float;
   faults : Sw_fault.Schedule.t;
+  trace : Sw_obs.Trace.t option;
+  profile : Sw_obs.Profile.t option;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     seed = 0xA77ACCL;
     background_rate_per_s = 0.;
     faults = Sw_fault.Schedule.empty;
+    trace = None;
+    profile = None;
   }
 
 let with_replicas spec m =
@@ -51,7 +55,17 @@ type result = {
 let run spec =
   let m = spec.config.Sw_vmm.Config.replicas in
   let machines = if spec.baseline then 1 else (3 * m) - 2 in
-  let cloud = Cloud.create ~config:spec.config ~seed:spec.seed ~machines () in
+  let cloud =
+    Cloud.create ~config:spec.config ~seed:spec.seed ?profile:spec.profile
+      ~machines ()
+  in
+  (* Attach before deploying so the edge nodes and every replica emit into
+     the same sink; recording starts immediately. *)
+  (match spec.trace with
+  | Some tr ->
+      Cloud.attach_trace cloud tr;
+      Sw_obs.Trace.enable tr
+  | None -> ());
   let deploy_guest ~on ~app =
     if spec.baseline then Cloud.deploy_baseline cloud ~on:0 ~app
     else Cloud.deploy cloud ~on ~app

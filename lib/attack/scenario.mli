@@ -25,6 +25,13 @@ type spec = {
       (** Deterministic fault schedule installed against the scenario's
           cloud before it runs; {!Sw_fault.Schedule.empty} (the default)
           disables injection entirely. *)
+  trace : Sw_obs.Trace.t option;
+      (** Cloud-wide trace sink, attached ({!Stopwatch.Cloud.attach_trace})
+          and enabled before anything is deployed; [None] (the default)
+          records nothing and costs one branch per would-be event. *)
+  profile : Sw_obs.Profile.t option;
+      (** Wall-clock self-profiling instance handed to the engine; [None]
+          (the default) times nothing. *)
 }
 
 val default : spec

@@ -21,17 +21,18 @@ type t = {
   mutable next_vm : int;
   mutable next_host : int;
   mutable deployments : deployment list;
+  mutable trace : Sw_obs.Trace.t option;
 }
 
 let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
     ?(default_link = Sw_net.Network.lan) ?(rate_spread = 0.)
-    ?(clock_spread = Time.zero) ~machines () =
+    ?(clock_spread = Time.zero) ?profile ~machines () =
   if machines < 1 then invalid_arg "Cloud.create: need at least one machine";
   if rate_spread < 0. || rate_spread >= 1. then
     invalid_arg "Cloud.create: rate_spread must be in [0, 1)";
   Sw_vmm.Config.validate config;
   let metrics = Sw_obs.Registry.create () in
-  let engine = Engine.create ~seed ~metrics () in
+  let engine = Engine.create ~seed ~metrics ?profile () in
   let hw_rng = Engine.rng engine in
   let network = Sw_net.Network.create engine ~default:default_link in
   let machine_arr =
@@ -65,7 +66,22 @@ let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
     next_vm = 0;
     next_host = 0;
     deployments = [];
+    trace = None;
   }
+
+(* One sink for the whole cloud: the edge nodes and every replica VMM —
+   current and future deployments alike — emit into it, so lineage
+   reconstruction sees the full ingress → proposal → median → delivery →
+   egress chain. *)
+let attach_trace t tr =
+  t.trace <- Some tr;
+  Sw_net.Ingress.set_trace t.ingress tr;
+  Sw_net.Egress.set_trace t.egress tr;
+  List.iter
+    (fun d -> List.iter (fun (_, i) -> Sw_vmm.Vmm.set_trace i tr) d.instances)
+    t.deployments
+
+let trace t = t.trace
 
 let engine t = t.engine
 let network t = t.network
@@ -153,6 +169,9 @@ let deploy ?config t ~on ~app =
     | Some _ -> Some (Sw_vmm.Watchdog.create t.engine group)
   in
   let d = { vm; group; instances; watchdog } in
+  (match t.trace with
+  | Some tr -> List.iter (fun (_, i) -> Sw_vmm.Vmm.set_trace i tr) instances
+  | None -> ());
   t.deployments <- d :: t.deployments;
   d
 
@@ -170,6 +189,9 @@ let deploy_baseline ?config t ~on ~app =
   (* Baseline traffic routes straight to the hosting machine. *)
   Sw_net.Network.set_route t.network ~dst:(Address.Vm vm) ~via:(Address.Vmm on);
   let d = { vm; group; instances = [ (on, instance) ]; watchdog = None } in
+  (match t.trace with
+  | Some tr -> Sw_vmm.Vmm.set_trace instance tr
+  | None -> ());
   t.deployments <- d :: t.deployments;
   d
 
@@ -263,6 +285,9 @@ let restart_replica t ~vm ~replica =
   | _ -> ()
 
 let install_faults ?trace t schedule =
+  (* Fault windows land in the cloud's attached trace unless the caller
+     routes them elsewhere. *)
+  let trace = match trace with Some _ -> trace | None -> t.trace in
   let env =
     {
       Sw_fault.Injector.engine = t.engine;

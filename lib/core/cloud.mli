@@ -21,16 +21,27 @@ type deployment
     [1 ± rate_spread] (heterogeneous hardware; replicas then skew in real
     time and the skew limiter becomes active); [clock_spread] draws each
     machine's real-time-clock error uniformly from [± clock_spread]. Both
-    default to zero (identical machines). *)
+    default to zero (identical machines). [profile] hands the engine a
+    wall-clock self-profiling instance (see {!Sw_sim.Engine.create}). *)
 val create :
   ?config:Sw_vmm.Config.t ->
   ?seed:int64 ->
   ?default_link:Sw_net.Network.link_params ->
   ?rate_spread:float ->
   ?clock_spread:Sw_sim.Time.t ->
+  ?profile:Sw_obs.Profile.t ->
   machines:int ->
   unit ->
   t
+
+(** [attach_trace t tr] makes [tr] the cloud-wide trace sink: the ingress
+    and egress nodes and every replica VMM — of deployments both existing
+    and future — emit their typed events into it. The sink still starts
+    disabled; call {!Sw_obs.Trace.enable} to record. *)
+val attach_trace : t -> Sw_obs.Trace.t -> unit
+
+(** The cloud-wide sink, when one was attached. *)
+val trace : t -> Sw_obs.Trace.t option
 
 (** Times the skew limiter has descheduled this VM's fastest replica. *)
 val skew_blocks : deployment -> int
@@ -101,7 +112,8 @@ val start_background : t -> rate_per_s:float -> ?size:int -> unit -> unit
     [Replica_crash] with [restart_after] is restarted by resyncing from a
     live peer ({!Sw_vmm.Vmm.reintegrate} — requires [Config.replay_log];
     without it, or without a survivor, the restart silently stays down).
-    Call after the relevant deployments exist. *)
+    Call after the relevant deployments exist. [trace] defaults to the
+    cloud's {!attach_trace} sink. *)
 val install_faults :
   ?trace:Sw_obs.Trace.t -> t -> Sw_fault.Schedule.t -> Sw_fault.Injector.t
 

@@ -37,6 +37,7 @@ type t = {
   per_vm : (int, Registry.Counter.t) Hashtbl.t;
   m_busy_ns : Registry.Counter.t;
   m_service : Registry.Histogram.t;
+  p_complete : Sw_obs.Profile.timer;
 }
 
 let create engine ?(params = default_params) ?(path = "disk") () =
@@ -51,6 +52,7 @@ let create engine ?(params = default_params) ?(path = "disk") () =
     per_vm = Hashtbl.create 8;
     m_busy_ns = Registry.counter metrics (path ^ ".busy_ns");
     m_service = Registry.histogram metrics (path ^ ".service_ns");
+    p_complete = Sw_obs.Profile.timer (Engine.profile engine) "disk.complete";
   }
 
 let vm_counter t vm =
@@ -99,7 +101,7 @@ let submit t ~vm ~kind:_ ~bytes ~sequential k =
     (Engine.schedule_at ~kind:"disk.complete" t.engine finish (fun () ->
          Registry.Counter.incr t.m_completed;
          Registry.Counter.incr vm_completed;
-         k ()))
+         Sw_obs.Profile.time (Engine.profile t.engine) t.p_complete k))
 
 let completed t = Registry.Counter.value t.m_completed
 

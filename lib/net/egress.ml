@@ -14,6 +14,7 @@ type t = {
   m_mismatches : Sw_obs.Registry.Counter.t;
   m_expired : Sw_obs.Registry.Counter.t;
   mutable tap : (vm:int -> Packet.t -> Sw_sim.Time.t -> unit) option;
+  mutable trace : Sw_obs.Trace.t option;
 }
 
 (* Copies beyond the (m+1)/2-th only serve to retire the vote entry. The
@@ -59,6 +60,11 @@ let handle t (pkt : Packet.t) =
             schedule_expiry t entry key;
           if seen = release_rank then begin
             Sw_obs.Registry.Counter.incr t.m_forwarded;
+            if Sw_obs.Trace.active t.trace then
+              Sw_obs.Trace.emit (Option.get t.trace)
+                ~at_ns:(Sw_sim.Engine.now (Network.engine t.network))
+                (Sw_obs.Event.Egress_released
+                   { vm; seq = key; rank = release_rank; copies = entry.replicas });
             (match t.tap with
             | Some f -> f ~vm inner (Sw_sim.Engine.now (Network.engine t.network))
             | None -> ());
@@ -78,10 +84,13 @@ let create ?vote_expiry network =
       m_mismatches = Sw_obs.Registry.counter metrics "net.egress.mismatches";
       m_expired = Sw_obs.Registry.counter metrics "net.egress.expired_votes";
       tap = None;
+      trace = None;
     }
   in
   Network.register network Address.Egress (handle t);
   t
+
+let set_trace t tr = t.trace <- Some tr
 
 let check_replicas ~fn replicas =
   if replicas < 1 || replicas mod 2 = 0 then

@@ -10,6 +10,7 @@ type t = {
   mcast_routes : (int, Multicast.endpoint) Hashtbl.t;
   m_dropped : Sw_obs.Registry.Counter.t;
   m_replicated : Sw_obs.Registry.Counter.t;
+  mutable trace : Sw_obs.Trace.t option;
 }
 
 let handle t (pkt : Packet.t) =
@@ -32,6 +33,16 @@ let handle t (pkt : Packet.t) =
             let ingress_seq = entry.next_ingress_seq in
             entry.next_ingress_seq <- ingress_seq + 1;
             Sw_obs.Registry.Counter.incr t.m_replicated;
+            if Sw_obs.Trace.active t.trace then
+              Sw_obs.Trace.emit (Option.get t.trace)
+                ~at_ns:(Sw_sim.Engine.now (Network.engine t.network))
+                (Sw_obs.Event.Ingress_replicated
+                   {
+                     vm;
+                     ingress_seq;
+                     copies = List.length entry.replica_vmms;
+                     size = pkt.Packet.size;
+                   });
             let payload = Packet.Guest_bound { vm; ingress_seq; inner = pkt } in
             match entry.channel with
             | Some ep -> Multicast.publish ep ~size:pkt.Packet.size payload
@@ -57,10 +68,13 @@ let create network =
       mcast_routes = Hashtbl.create 16;
       m_dropped = Sw_obs.Registry.counter metrics "net.ingress.dropped";
       m_replicated = Sw_obs.Registry.counter metrics "net.ingress.replicated";
+      trace = None;
     }
   in
   Network.register network Address.Ingress (handle t);
   t
+
+let set_trace t tr = t.trace <- Some tr
 
 let register_vm ?channel t ~vm ~replica_vmms =
   if replica_vmms = [] then invalid_arg "Ingress.register_vm: no replicas";

@@ -29,3 +29,8 @@ val dropped : t -> int
 
 (** Total inbound guest packets replicated. *)
 val replicated : t -> int
+
+(** Attach a trace sink: each replication emits
+    {!Sw_obs.Event.Ingress_replicated} — the root of a packet's causal
+    chain — when the sink is enabled. *)
+val set_trace : t -> Sw_obs.Trace.t -> unit

@@ -67,6 +67,7 @@ type t = {
   m_undeliverable : Registry.Counter.t;
   m_lost : Registry.Counter.t;
   m_fault_lost : Registry.Counter.t;
+  p_deliver : Sw_obs.Profile.timer;
 }
 
 let pair_metric ~src ~dst =
@@ -92,6 +93,7 @@ let create engine ~default =
     m_undeliverable = Registry.counter metrics "net.undeliverable";
     m_lost = Registry.counter metrics "net.lost";
     m_fault_lost = Registry.counter metrics "net.fault.lost";
+    p_deliver = Sw_obs.Profile.timer (Engine.profile engine) "net.deliver";
   }
 
 let engine t = t.engine
@@ -193,7 +195,10 @@ let deliver_via t ~target (pkt : Packet.t) =
           (Engine.schedule_at ~kind:"net.deliver" t.engine arrive (fun () ->
                Registry.Counter.incr t.m_delivered;
                Registry.Counter.incr (pair_counter t (pkt.src, pkt.dst));
-               handler pkt))
+               Sw_obs.Profile.time
+                 (Engine.profile t.engine)
+                 t.p_deliver
+                 (fun () -> handler pkt)))
   end
 
 let send t (pkt : Packet.t) =

@@ -16,6 +16,8 @@ type t =
       proposals : (int * int64) list;
     }
   | Packet_delivered of { vm : int; replica : int; seq : int; virt_ns : int64 }
+  | Ingress_replicated of { vm : int; ingress_seq : int; copies : int; size : int }
+  | Egress_released of { vm : int; seq : int; rank : int; copies : int }
   | Divergence of { vm : int; replica : int; kind : divergence_kind }
   | Vm_exit of {
       vm : int;
@@ -41,6 +43,8 @@ let label = function
   | Packet_proposed _ -> "proposal"
   | Median_adopted _ -> "median"
   | Packet_delivered _ -> "deliver"
+  | Ingress_replicated _ -> "ingress-rep"
+  | Egress_released _ -> "egress-release"
   | Divergence _ -> "divergence"
   | Vm_exit _ -> "vm-exit"
   | Disk_irq _ -> "disk-irq"
@@ -55,6 +59,44 @@ let label = function
   | Span_begin _ -> "span-begin"
   | Span_end _ -> "span-end"
   | Message _ -> "message"
+
+let vm_of = function
+  | Packet_proposed { vm; _ }
+  | Median_adopted { vm; _ }
+  | Packet_delivered { vm; _ }
+  | Ingress_replicated { vm; _ }
+  | Egress_released { vm; _ }
+  | Divergence { vm; _ }
+  | Vm_exit { vm; _ }
+  | Disk_irq { vm; _ }
+  | Dma_irq { vm; _ }
+  | Fault_replica_crash { vm; _ }
+  | Fault_replica_restart { vm; _ }
+  | Degrade_suspected { vm; _ }
+  | Degrade_ejected { vm; _ }
+  | Degrade_reintegrated { vm; _ } ->
+      Some vm
+  | Fault_injected _ | Fault_cleared _ | Span_begin _ | Span_end _ | Message _
+    ->
+      None
+
+let replica_of = function
+  | Packet_proposed { observer; _ } -> Some observer
+  | Median_adopted { replica; _ }
+  | Packet_delivered { replica; _ }
+  | Divergence { replica; _ }
+  | Vm_exit { replica; _ }
+  | Disk_irq { replica; _ }
+  | Dma_irq { replica; _ }
+  | Fault_replica_crash { replica; _ }
+  | Fault_replica_restart { replica; _ }
+  | Degrade_suspected { replica; _ }
+  | Degrade_ejected { replica; _ }
+  | Degrade_reintegrated { replica; _ } ->
+      Some replica
+  | Ingress_replicated _ | Egress_released _ | Fault_injected _
+  | Fault_cleared _ | Span_begin _ | Span_end _ | Message _ ->
+      None
 
 let pp_ns fmt t =
   let f = Int64.to_float t in
@@ -82,6 +124,13 @@ let pp fmt = function
   | Packet_delivered { vm; replica; seq; virt_ns } ->
       Format.fprintf fmt "vm%d/r%d delivers pkt #%d to guest at virt=%a" vm
         replica seq pp_ns virt_ns
+  | Ingress_replicated { vm; ingress_seq; copies; size } ->
+      Format.fprintf fmt "ingress replicates pkt #%d (%d B) for vm%d to %d VMMs"
+        ingress_seq size vm copies
+  | Egress_released { vm; seq; rank; copies } ->
+      Format.fprintf fmt
+        "egress releases vm%d pkt #%d on copy %d of %d (median output timing)"
+        vm seq rank copies
   | Divergence { vm; replica; kind } ->
       Format.fprintf fmt "vm%d/r%d diverged (%s)" vm replica
         (match kind with

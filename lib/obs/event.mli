@@ -28,6 +28,14 @@ type t =
       proposals : (int * int64) list;  (** (proposer, proposed virt). *)
     }
   | Packet_delivered of { vm : int; replica : int; seq : int; virt_ns : int64 }
+  | Ingress_replicated of { vm : int; ingress_seq : int; copies : int; size : int }
+      (** The ingress stamped an inbound guest packet with [ingress_seq] and
+          replicated it toward the VM's [copies] replica VMMs. The root of a
+          delivery lineage chain. *)
+  | Egress_released of { vm : int; seq : int; rank : int; copies : int }
+      (** The egress forwarded the guest packet with sequence [seq] on the
+          arrival of its [rank]-th copy (the median output timing) out of
+          [copies] voters. *)
   | Divergence of { vm : int; replica : int; kind : divergence_kind }
   | Vm_exit of {
       vm : int;
@@ -58,6 +66,16 @@ type t =
 
 (** Short kind tag, e.g. ["proposal"], ["median"], ["vm-exit"]. *)
 val label : t -> string
+
+(** The guest VM an event concerns, when it concerns exactly one — [None]
+    for fabric-wide and bookkeeping events (fault windows, spans,
+    messages). *)
+val vm_of : t -> int option
+
+(** The replica an event was recorded at ([observer] for proposals); [None]
+    for events that happen off the replicas (ingress, egress, faults,
+    spans). *)
+val replica_of : t -> int option
 
 (** Adaptive-unit nanosecond printer (["1.500ms"]), for rendering. *)
 val pp_ns : Format.formatter -> int64 -> unit

@@ -64,8 +64,53 @@ let emit_data buf (data : Snapshot.data) =
         h.Snapshot.buckets;
       Buffer.add_string buf "]}"
 
-let to_json_string snapshot =
-  let buf = Buffer.create 1024 in
+type meta = {
+  seed : int64 option;
+  scenario : string option;
+  trace_capacity : int option;
+  trace_dropped : int option;
+  registry_enabled : bool option;
+}
+
+let meta ?seed ?scenario ?trace_capacity ?trace_dropped ?registry_enabled () =
+  { seed; scenario; trace_capacity; trace_dropped; registry_enabled }
+
+let emit_meta buf m =
+  let first = ref true in
+  let field name emit_value =
+    if !first then first := false else Buffer.add_char buf ',';
+    escape buf name;
+    Buffer.add_char buf ':';
+    emit_value ()
+  in
+  Buffer.add_char buf '{';
+  (match m.seed with
+  | Some s -> field "seed" (fun () -> Buffer.add_string buf (Int64.to_string s))
+  | None -> ());
+  (match m.scenario with
+  | Some s -> field "scenario" (fun () -> escape buf s)
+  | None -> ());
+  (match m.trace_capacity with
+  | Some c ->
+      field "trace_capacity" (fun () -> Buffer.add_string buf (string_of_int c))
+  | None -> ());
+  (match m.trace_dropped with
+  | Some d ->
+      field "trace_dropped" (fun () -> Buffer.add_string buf (string_of_int d))
+  | None -> ());
+  (match m.registry_enabled with
+  | Some b ->
+      field "registry_enabled" (fun () ->
+          Buffer.add_string buf (if b then "true" else "false"))
+  | None -> ());
+  Buffer.add_char buf '}'
+
+let meta_json m =
+  let buf = Buffer.create 128 in
+  emit_meta buf m;
+  Buffer.contents buf
+
+let emit_snapshot buf snapshot =
   Buffer.add_char buf '{';
   List.iteri
     (fun i (name, data) ->
@@ -74,5 +119,18 @@ let to_json_string snapshot =
       Buffer.add_char buf ':';
       emit_data buf data)
     (Snapshot.to_list snapshot);
-  Buffer.add_char buf '}';
+  Buffer.add_char buf '}'
+
+let to_json_string ?meta snapshot =
+  let buf = Buffer.create 1024 in
+  (match meta with
+  | None -> emit_snapshot buf snapshot
+  | Some m ->
+      (* Self-describing form: the metric object moves under "metrics" and
+         the run's identity rides along. *)
+      Buffer.add_string buf "{\"meta\":";
+      emit_meta buf m;
+      Buffer.add_string buf ",\"metrics\":";
+      emit_snapshot buf snapshot;
+      Buffer.add_char buf '}');
   Buffer.contents buf

@@ -19,8 +19,36 @@
     catch-all bucket's bound prints as [null]. [min]/[max] are [null] when
     [count = 0]. *)
 
-(** Canonical JSON for one snapshot (no trailing newline). *)
-val to_json_string : Snapshot.t -> string
+(** Self-description for exported artifacts: which run produced the bytes.
+    Every field is optional; absent fields are omitted from the JSON. *)
+type meta = {
+  seed : int64 option;
+  scenario : string option;
+  trace_capacity : int option;
+  trace_dropped : int option;
+      (** Entries the trace ring overwrote — nonzero means the exported
+          trace is a suffix of the run ({!Trace.dropped}). *)
+  registry_enabled : bool option;
+}
+
+val meta :
+  ?seed:int64 ->
+  ?scenario:string ->
+  ?trace_capacity:int ->
+  ?trace_dropped:int ->
+  ?registry_enabled:bool ->
+  unit ->
+  meta
+
+(** The meta object alone, rendered canonically (fields in declaration
+    order, [None]s omitted) — shared with {!Chrome}'s [otherData]. *)
+val meta_json : meta -> string
+
+(** Canonical JSON for one snapshot (no trailing newline). Without [meta]
+    the output is the flat metric object documented above; with [meta] it
+    becomes [{"meta":{...},"metrics":{<flat object>}}], so artifacts carry
+    their seed, scenario and truncation state. *)
+val to_json_string : ?meta:meta -> Snapshot.t -> string
 
 (** [float_repr f] is the shortest decimal representation of [f] that parses
     back to the same float ("nan"/"inf" quoted). Exposed so other emitters

@@ -1,0 +1,198 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Error (Printf.sprintf "%s at offset %d" msg st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let skip_ws st =
+  let rec go () =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word value =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected '%s'" word)
+
+let parse_string_body st =
+  (* Called with pos just past the opening quote. *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> fail st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  fail st "truncated \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail st "bad \\u escape"
+                in
+                st.pos <- st.pos + 4;
+                (* Keep it simple: encode the code point as UTF-8; surrogate
+                   pairs in test artifacts are out of scope, stored raw. *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | _ -> fail st "bad escape");
+            go ())
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> Number f
+  | None -> fail st (Printf.sprintf "bad number %S" s)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Object []
+      end
+      else begin
+        let members = ref [] in
+        let rec member () =
+          skip_ws st;
+          expect st '"';
+          let key = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          members := (key, v) :: !members;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              member ()
+          | Some '}' -> advance st
+          | _ -> fail st "expected ',' or '}'"
+        in
+        member ();
+        Object (List.rev !members)
+      end
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Array []
+      end
+      else begin
+        let items = ref [] in
+        let rec item () =
+          let v = parse_value st in
+          items := v :: !items;
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              item ()
+          | Some ']' -> advance st
+          | _ -> fail st "expected ',' or ']'"
+        in
+        item ();
+        Array (List.rev !items)
+      end
+  | Some '"' ->
+      advance st;
+      String (parse_string_body st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Error msg -> Error msg
+
+let member name = function
+  | Object fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_list = function Array items -> Some items | _ -> None
+let to_string = function String s -> Some s | _ -> None
+let to_number = function Number f -> Some f | _ -> None

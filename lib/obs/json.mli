@@ -1,0 +1,27 @@
+(** Minimal recursive-descent JSON reader.
+
+    Exists so exported artifacts ({!Export}, {!Chrome}) can be structurally
+    validated — by tests and the CLI's [--smoke] mode — without an external
+    JSON dependency. It parses the full value grammar (numbers land in one
+    [float]; [\u] escapes outside the BMP are out of scope) and offers just
+    enough accessors to walk a parsed tree. Not a general-purpose codec. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+(** [parse s] parses exactly one JSON value spanning all of [s]
+    (surrounding whitespace allowed); [Error msg] carries the byte offset
+    of the failure. *)
+val parse : string -> (t, string) result
+
+(** [member name v] is field [name] when [v] is an object containing it. *)
+val member : string -> t -> t option
+
+val to_list : t -> t list option
+val to_string : t -> string option
+val to_number : t -> float option

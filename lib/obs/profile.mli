@@ -1,0 +1,50 @@
+(** Wall-clock self-profiling: per-subsystem accumulating timers.
+
+    Where {!Registry} measures the simulated world (counters and histograms
+    of simulated nanoseconds), [Profile] measures the simulator itself:
+    real time spent in engine dispatch, network delivery, the VMM's median
+    machinery, disk completions. Each subsystem obtains a named {!timer}
+    at construction and wraps its hot section in {!time}.
+
+    Profiling is {b off} by default and follows the same master-switch
+    contract as {!Registry.enabled}: a disabled profile costs one load and
+    one branch per wrapped call — no clock read, no accumulation. Because
+    the clock is the wall clock ([Unix.gettimeofday]), profile data is
+    inherently non-deterministic and must never feed byte-compared exports;
+    {!Chrome.to_json} renders it as separate counter tracks, and the
+    deterministic golden tests leave profiling disabled. *)
+
+type t
+
+(** One named accumulator: total wall nanoseconds and call count. *)
+type timer
+
+(** [create ()] makes a profile, disabled unless [enabled] is [true]. *)
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** [timer t name] returns the accumulator registered at [name], creating
+    it on first use (names follow the {!Registry} path alphabet
+    [A-Za-z0-9._-]). Handles are create-or-return: same name, same cell. *)
+val timer : t -> string -> timer
+
+(** [time t tm f] runs [f ()], adding its wall-clock duration to [tm] when
+    [t] is enabled; a bare call to [f] otherwise. The duration is recorded
+    even when [f] raises. *)
+val time : t -> timer -> (unit -> 'a) -> 'a
+
+(** [record_ns tm ns] adds an externally measured duration (one call). *)
+val record_ns : timer -> int -> unit
+
+val total_ns : timer -> int
+val count : timer -> int
+
+(** All timers as [(name, total_ns, count)], ascending name order. *)
+val to_list : t -> (string * int * int) list
+
+(** Zero every accumulator in place (handles stay valid). *)
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

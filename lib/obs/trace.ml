@@ -6,9 +6,11 @@ type t = {
   mutable next : int;
   mutable count : int;
   mutable enabled : bool;
+  mutable dropped : int;
+  m_dropped : Registry.Counter.t option;
 }
 
-let create ?(capacity = 65536) () =
+let create ?(capacity = 65536) ?metrics () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   {
     capacity;
@@ -16,6 +18,8 @@ let create ?(capacity = 65536) () =
     next = 0;
     count = 0;
     enabled = false;
+    dropped = 0;
+    m_dropped = Option.map (fun r -> Registry.counter r "trace.dropped") metrics;
   }
 
 let enable t = t.enabled <- true
@@ -25,6 +29,14 @@ let active = function Some t -> t.enabled | None -> false
 
 let emit t ~at_ns event =
   if t.enabled then begin
+    if t.count = t.capacity then begin
+      (* The ring overwrites its oldest entry; count the loss so a truncated
+         trace is never mistaken for a complete one. *)
+      t.dropped <- t.dropped + 1;
+      match t.m_dropped with
+      | Some c -> Registry.Counter.incr c
+      | None -> ()
+    end;
     t.buffer.(t.next) <- Some { at_ns; event };
     t.next <- (t.next + 1) mod t.capacity;
     if t.count < t.capacity then t.count <- t.count + 1
@@ -48,9 +60,12 @@ let entries t = List.rev (fold (fun acc e -> e :: acc) [] t)
 let clear t =
   Array.fill t.buffer 0 t.capacity None;
   t.next <- 0;
-  t.count <- 0
+  t.count <- 0;
+  t.dropped <- 0
 
 let length t = t.count
+let capacity t = t.capacity
+let dropped t = t.dropped
 
 let span t ~now ~name f =
   if not t.enabled then f ()

@@ -18,8 +18,11 @@ type t
 type entry = { at_ns : int64; event : Event.t }
 
 (** [create ~capacity ()] keeps at most [capacity] most-recent entries
-    (default 65536). *)
-val create : ?capacity:int -> unit -> t
+    (default 65536). With [metrics], overwrites of the oldest entry at
+    capacity are additionally counted in a [trace.dropped] registry counter,
+    so exports built from that registry are self-describing about
+    truncation. *)
+val create : ?capacity:int -> ?metrics:Registry.t -> unit -> t
 
 val enable : t -> unit
 val disable : t -> unit
@@ -40,6 +43,16 @@ val entries : t -> entry list
 
 val clear : t -> unit
 val length : t -> int
+
+(** The ring's fixed capacity. *)
+val capacity : t -> int
+
+(** Entries lost to ring overwrites since creation (or the last {!clear}).
+    A consumer seeing [dropped t > 0] must treat the trace as a suffix of
+    the run, not the whole run — lineage reconstruction, for example, will
+    report chains whose proposals predate the ring's oldest entry as
+    orphans. *)
+val dropped : t -> int
 
 (** [span t ~now ~name f] emits [Span_begin] before and [Span_end] (with the
     elapsed simulated time) after running [f]; the span is recorded even when

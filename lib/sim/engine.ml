@@ -16,11 +16,16 @@ type t = {
   m_cancelled : Sw_obs.Registry.Counter.t;
   m_depth : Sw_obs.Registry.Gauge.t;
   kinds : (string, kind_hooks) Hashtbl.t;
+  profile : Sw_obs.Profile.t;
+  p_dispatch : Sw_obs.Profile.timer;
 }
 
-let create ?(seed = 0x5397_BA1DL) ?metrics () =
+let create ?(seed = 0x5397_BA1DL) ?metrics ?profile () =
   let metrics =
     match metrics with Some m -> m | None -> Sw_obs.Registry.create ()
+  in
+  let profile =
+    match profile with Some p -> p | None -> Sw_obs.Profile.create ()
   in
   {
     now = Time.zero;
@@ -33,11 +38,14 @@ let create ?(seed = 0x5397_BA1DL) ?metrics () =
     m_cancelled = Sw_obs.Registry.counter metrics "sim.events.cancelled";
     m_depth = Sw_obs.Registry.gauge metrics "sim.queue.depth";
     kinds = Hashtbl.create 16;
+    profile;
+    p_dispatch = Sw_obs.Profile.timer profile "engine.dispatch";
   }
 
 let now t = t.now
 let rng t = Prng.split t.root_rng
 let metrics t = t.metrics
+let profile t = t.profile
 
 let kind_hooks t kind =
   match Hashtbl.find_opt t.kinds kind with
@@ -103,7 +111,7 @@ let step t =
         Sw_obs.Registry.Counter.incr t.m_fired;
         Sw_obs.Registry.Gauge.observe_int t.m_depth t.live
       end;
-      fn ();
+      Sw_obs.Profile.time t.profile t.p_dispatch fn;
       true
 
 let run ?until t =

@@ -19,8 +19,14 @@ type event_id
     {!Time.zero} and whose root PRNG is seeded with [seed]. The engine
     records its own bookkeeping ([sim.events.*], [sim.queue.depth]) in
     [metrics] (a private registry when omitted) and hands the registry to
-    components via {!metrics}. *)
-val create : ?seed:int64 -> ?metrics:Sw_obs.Registry.t -> unit -> t
+    components via {!metrics}. [profile] (a disabled private instance when
+    omitted) collects wall-clock self-profiling: the engine times every
+    event dispatch under ["engine.dispatch"], and components reached
+    through this engine hang their own timers off the same instance via
+    {!profile}. *)
+val create :
+  ?seed:int64 -> ?metrics:Sw_obs.Registry.t -> ?profile:Sw_obs.Profile.t ->
+  unit -> t
 
 (** Current simulated time. *)
 val now : t -> Time.t
@@ -33,6 +39,10 @@ val rng : t -> Prng.t
 (** The registry this engine (and every component built on it) records
     into. *)
 val metrics : t -> Sw_obs.Registry.t
+
+(** The wall-clock profile this engine times dispatches into; disabled
+    unless one was passed to {!create} (or enabled later). *)
+val profile : t -> Sw_obs.Profile.t
 
 (** [schedule_at ?kind t at f] runs [f] when the clock reaches [at]. Raises
     [Invalid_argument] when [at] is in the past. When [kind] is given (a

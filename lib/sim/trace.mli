@@ -14,8 +14,8 @@ type t = Sw_obs.Trace.t
 type entry = { at : Time.t; label : string; message : string }
 
 (** [create ~capacity ()] keeps at most [capacity] most-recent entries
-    (default 65536). *)
-val create : ?capacity:int -> unit -> t
+    (default 65536); [metrics] forwards to {!Sw_obs.Trace.create}. *)
+val create : ?capacity:int -> ?metrics:Sw_obs.Registry.t -> unit -> t
 
 (** Tracing is disabled by default; emitting to a disabled trace is a cheap
     no-op. *)

@@ -71,6 +71,7 @@ type instance = {
   mutable trace : Sw_obs.Trace.t option;
   m_median_sources : Registry.Sum.t array;
       (** Per replica id: medians credited to its proposal (ties split). *)
+  p_median : Sw_obs.Profile.timer;
 }
 
 type t = {
@@ -145,6 +146,10 @@ let complete_inbound i ~ingress_seq entry =
   in
   match entry.packet with
   | Some inner when voters <> [] && List.length votes = List.length voters ->
+      Sw_obs.Profile.time
+        (Engine.profile (Machine.engine i.mach))
+        i.p_median
+        (fun () ->
       Hashtbl.remove i.inbound ingress_seq;
       let delivery =
         (* Three voters is the steady state (paper Sec. IV); take its median
@@ -190,7 +195,7 @@ let complete_inbound i ~ingress_seq entry =
                })
       end;
       insert_pending i
-        { delivery; cls = 0; key = ingress_seq; event = Sw_vm.App.Packet_in inner }
+        { delivery; cls = 0; key = ingress_seq; event = Sw_vm.App.Packet_in inner })
   | _ -> ()
 
 let inbound_entry i ingress_seq =
@@ -806,6 +811,10 @@ let host ?channel ?start t ~group ~app ~peers =
       m_median_sources =
         Array.init config.Config.replicas (fun k ->
             Registry.sum metrics (Printf.sprintf "%s.median.source.r%d" prefix k));
+      p_median =
+        Sw_obs.Profile.timer
+          (Engine.profile (Machine.engine t.mach))
+          "vmm.median";
     }
   in
   instance_holder := Some i;
