@@ -3,8 +3,8 @@
    bechamel micro-benchmarks.
 
    Usage: main.exe [-j N] [-quick] [experiment ...]
-   where experiment is one of fig1 fig2 fig4 fig5 fig6 fig7 fig8 placement
-   utilization theorems collusion ablation scale micro chaos quick, or
+   where experiment is one of fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9
+   placement utilization theorems collusion ablation scale micro chaos quick, or
    nothing / "all" for everything except chaos and quick. [-quick] shrinks
    the chaos sweep to its CI smoke form.
 
@@ -22,6 +22,7 @@ let experiments =
     ("fig6", fun ~pool -> Fig6.run ?pool ());
     ("fig7", fun ~pool -> Fig7.run ?pool ());
     ("fig8", fun ~pool:_ -> Fig8.run ());
+    ("fig9", fun ~pool -> Fig9.run ?pool ());
     ("placement", fun ~pool:_ -> Bench_placement.run ());
     ("utilization", fun ~pool:_ -> Bench_utilization.run ());
     ("theorems", fun ~pool:_ -> Bench_theorems.run ());
@@ -62,6 +63,7 @@ let parse_args () =
     | ("-quick" | "--quick") :: rest ->
         Bench_chaos.quick := true;
         Bench_engine.quick := true;
+        Fig9.quick := true;
         go rest
     | name :: rest ->
         names := name :: !names;

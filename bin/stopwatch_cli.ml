@@ -5,7 +5,8 @@
      stopwatch parsec   -- PARSEC runtime benchmark (Fig. 7 row)
      stopwatch attack   -- timing-attack scenario (Fig. 4 / Sec. IX)
      stopwatch trace    -- record a traced run; export Perfetto/JSONL,
-                           reconstruct causal lineage                    *)
+                           reconstruct causal lineage
+     stopwatch workload -- check/run declarative .scn scenarios (DSL)   *)
 
 open Cmdliner
 
@@ -297,7 +298,7 @@ let smoke_check ~crash ~lineage_data json =
             List.length
               (List.filter
                  (fun ev ->
-                   match Option.bind (J.member "ph" ev) J.to_string with
+                   match Option.bind (J.member "ph" ev) J.as_string with
                    | Some "s" -> true
                    | _ -> false)
                  events)
@@ -473,9 +474,222 @@ let trace_cmd =
       $ capacity $ export $ output $ lineage $ filters $ crash $ profile_on
       $ smoke)
 
+(* --- workload ------------------------------------------------------------ *)
+
+(* `stopwatch workload check FILES...` parses and validates .scn scenario
+   files (reporting the DSL's line/column/field-path errors); `stopwatch
+   workload run FILE` compiles and runs one, sharding its independent
+   variants (load multipliers, attack variants) over -j worker domains. *)
+
+module Dsl = Sw_workload.Dsl
+module Wrun = Sw_workload.Run
+
+let validate_scenario (t : Dsl.t) =
+  match t.Dsl.kind with
+  | Dsl.Attack _ -> Ok t
+  | Dsl.Workload w -> (
+      (* Surface config errors at check time, not at run time. *)
+      match
+        Sw_workload.Flowgen.validate
+          {
+            Sw_workload.Flowgen.arrival = w.Dsl.arrival;
+            classes = w.Dsl.classes;
+            keyspace =
+              Sw_workload.Keyspace.create ~keys:w.Dsl.keys ~theta:w.Dsl.theta;
+            pool = w.Dsl.pool;
+            max_per_conn = w.Dsl.max_per_conn;
+            request_bytes = w.Dsl.request_bytes;
+            until = w.Dsl.duration;
+          };
+        Sw_workload.Cache.validate_config w.Dsl.cache;
+        Sw_fault.Schedule.validate w.Dsl.faults
+      with
+      | () -> Ok t
+      | exception Invalid_argument e -> Error e)
+
+let load_scenario file =
+  match Dsl.load_file file with
+  | Error e -> Error e
+  | Ok t -> (
+      match validate_scenario t with
+      | Ok t -> Ok t
+      | Error e -> Error (Printf.sprintf "%s: %s" file e))
+
+let workload_check_cmd =
+  let run files =
+    let failures =
+      List.filter_map
+        (fun file ->
+          match load_scenario file with
+          | Ok t ->
+              let kind =
+                match t.Dsl.kind with
+                | Dsl.Attack a ->
+                    Printf.sprintf "attack, %d variants" (List.length a.Dsl.variants)
+                | Dsl.Workload w ->
+                    Printf.sprintf "workload, %d load points"
+                      (List.length w.Dsl.load_multipliers)
+              in
+              Printf.printf "%s: OK (%s: %s)\n" file t.Dsl.name kind;
+              None
+          | Error e ->
+              Printf.eprintf "%s\n" e;
+              Some file)
+        files
+    in
+    if failures = [] then 0 else 1
+  in
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:".scn files.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate .scn scenario files")
+    Term.(const run $ files)
+
+let workload_report results =
+  Sw_runner.Report.Obj
+    (List.map
+       (fun (key, (r : Wrun.result)) ->
+         ( key,
+           Sw_runner.Report.Obj
+             [
+               ("issued", Sw_runner.Report.Int r.Wrun.issued);
+               ("completed", Sw_runner.Report.Int r.Wrun.completed);
+               ("hits", Sw_runner.Report.Int r.Wrun.hits);
+               ("misses", Sw_runner.Report.Int r.Wrun.misses);
+               ("p50_ms", Sw_runner.Report.Float r.Wrun.p50_ms);
+               ("p99_ms", Sw_runner.Report.Float r.Wrun.p99_ms);
+             ] ))
+       results)
+
+let run_variants ~pool ~make jobs_list =
+  let jobs =
+    List.map
+      (fun (key, spec) ->
+        Sw_runner.Job.make ~key (fun ~seed:_ -> make spec))
+      jobs_list
+  in
+  List.map2
+    (fun (key, _) r -> (key, Sw_runner.Runner.get r))
+    jobs_list
+    (Sw_runner.Runner.map ?pool jobs)
+
+let workload_run_cmd =
+  let run file seconds jobs output smoke =
+    with_pool jobs (fun pool ->
+        match load_scenario file with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            1
+        | Ok { Dsl.name; kind = Dsl.Attack a } ->
+            let a =
+              match seconds with
+              | None -> a
+              | Some s -> { a with Dsl.duration = Sw_sim.Time.of_float_s s }
+            in
+            let results =
+              run_variants ~pool ~make:Sw_attack.Scenario.run
+                (Dsl.attack_specs a)
+            in
+            List.iter
+              (fun (key, (r : Sw_attack.Scenario.result)) ->
+                let obs = r.Sw_attack.Scenario.attacker_inter_delivery_ms in
+                let n = Array.length obs in
+                let mean =
+                  if n = 0 then 0.
+                  else Array.fold_left ( +. ) 0. obs /. float_of_int n
+                in
+                Printf.printf
+                  "%s: %d deliveries, mean inter-delivery %.2f ms, divergences %d\n"
+                  key r.Sw_attack.Scenario.deliveries mean
+                  r.Sw_attack.Scenario.divergences)
+              results;
+            ignore name;
+            0
+        | Ok { Dsl.name; kind = Dsl.Workload w } ->
+            let w =
+              match seconds with
+              | None -> w
+              | Some s -> { w with Dsl.duration = Sw_sim.Time.of_float_s s }
+            in
+            let results =
+              run_variants ~pool ~make:Wrun.run (Dsl.workload_variants ~name w)
+            in
+            List.iter
+              (fun (key, (r : Wrun.result)) ->
+                Printf.printf
+                  "%s: issued %d, completed %d (hits %d / misses %d), p50 %.2f \
+                   ms, p99 %.2f ms\n"
+                  key r.Wrun.issued r.Wrun.completed r.Wrun.hits r.Wrun.misses
+                  r.Wrun.p50_ms r.Wrun.p99_ms)
+              results;
+            let report = Sw_runner.Report.to_string (workload_report results) in
+            Option.iter (fun path -> write_output (Some path) (report ^ "\n")) output;
+            if not smoke then 0
+            else begin
+              (* Smoke contract: the emitted JSON round-trips through the
+                 in-tree reader and every variant actually served traffic. *)
+              let ok_json =
+                match Sw_obs.Json.parse report with
+                | Ok _ -> true
+                | Error e ->
+                    Printf.eprintf "workload smoke: report does not parse: %s\n" e;
+                    false
+              in
+              let idle =
+                List.filter (fun (_, r) -> r.Wrun.completed = 0) results
+              in
+              List.iter
+                (fun (key, _) ->
+                  Printf.eprintf "workload smoke: %s completed 0 requests\n" key)
+                idle;
+              if ok_json && idle = [] then begin
+                Printf.printf "workload smoke OK: %d variant(s)\n"
+                  (List.length results);
+                0
+              end
+              else 1
+            end)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".scn file.")
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~doc:"Override the scenario duration.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the per-variant JSON report here.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Validate the run: the JSON report parses with the in-tree \
+                reader and every variant completed requests; exit non-zero \
+                otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and run a .scn scenario")
+    Term.(const run $ file $ seconds $ jobs_arg $ output $ smoke)
+
+let workload_cmd =
+  Cmd.group
+    (Cmd.info "workload"
+       ~doc:"Declarative workload scenarios: check and run .scn files")
+    [ workload_check_cmd; workload_run_cmd ]
+
 let () =
   let doc = "StopWatch: replicated-VM timing-channel mitigation (simulated)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "stopwatch" ~doc)
-          [ plan_cmd; download_cmd; nfs_cmd; parsec_cmd; attack_cmd; trace_cmd ]))
+          [
+            plan_cmd; download_cmd; nfs_cmd; parsec_cmd; attack_cmd; trace_cmd;
+            workload_cmd;
+          ]))

@@ -10,7 +10,24 @@ exception Error of string
 
 type state = { src : string; mutable pos : int }
 
-let fail st msg = raise (Error (Printf.sprintf "%s at offset %d" msg st.pos))
+(* Line/column of the failure point, computed only on the error path (the
+   happy path never pays for position tracking). Both are 1-based. *)
+let position src pos =
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to Stdlib.min pos (String.length src) - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
+
+let fail st msg =
+  let line, col = position st.src st.pos in
+  raise
+    (Error
+       (Printf.sprintf "%s at line %d, column %d (offset %d)" msg line col
+          st.pos))
 let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
 
 let advance st = st.pos <- st.pos + 1
@@ -194,5 +211,61 @@ let member name = function
   | _ -> None
 
 let to_list = function Array items -> Some items | _ -> None
-let to_string = function String s -> Some s | _ -> None
+let as_string = function String s -> Some s | _ -> None
 let to_number = function Number f -> Some f | _ -> None
+
+(* --- Writer ------------------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    (* Shortest representation that round-trips, so serialisation is a
+       function of the float's bits alone (same discipline as
+       [Sw_runner.Report]). *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number f -> Buffer.add_string buf (number_repr f)
+  | String s -> escape buf s
+  | Array items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Object fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  emit buf json;
+  Buffer.contents buf

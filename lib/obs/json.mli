@@ -1,10 +1,12 @@
-(** Minimal recursive-descent JSON reader.
+(** Minimal recursive-descent JSON reader and writer.
 
     Exists so exported artifacts ({!Export}, {!Chrome}) can be structurally
-    validated — by tests and the CLI's [--smoke] mode — without an external
-    JSON dependency. It parses the full value grammar (numbers land in one
-    [float]; [\u] escapes outside the BMP are out of scope) and offers just
-    enough accessors to walk a parsed tree. Not a general-purpose codec. *)
+    validated — by tests and the CLI's [--smoke] mode — and so declarative
+    scenario files ([.scn], see [Sw_workload.Dsl]) can be read and
+    round-tripped without an external JSON dependency. It parses the full
+    value grammar (numbers land in one [float]; [\u] escapes outside the BMP
+    are out of scope) and offers just enough accessors to walk a parsed
+    tree. Not a general-purpose codec. *)
 
 type t =
   | Null
@@ -15,13 +17,21 @@ type t =
   | Object of (string * t) list
 
 (** [parse s] parses exactly one JSON value spanning all of [s]
-    (surrounding whitespace allowed); [Error msg] carries the byte offset
-    of the failure. *)
+    (surrounding whitespace allowed); [Error msg] carries the 1-based line
+    and column — and the byte offset — of the failure, e.g.
+    ["expected ',' or '}' at line 3, column 7 (offset 41)"]. *)
 val parse : string -> (t, string) result
 
 (** [member name v] is field [name] when [v] is an object containing it. *)
 val member : string -> t -> t option
 
 val to_list : t -> t list option
-val to_string : t -> string option
+val as_string : t -> string option
 val to_number : t -> float option
+
+(** [to_string v] serialises [v] compactly (single line). Deterministic:
+    equal values always produce equal bytes — integral numbers print
+    without a fractional part, everything else as the shortest
+    representation that round-trips — so parse/print/parse is the identity
+    on trees this module produced. *)
+val to_string : t -> string

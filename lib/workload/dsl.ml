@@ -1,0 +1,576 @@
+module Json = Sw_obs.Json
+module Time = Sw_sim.Time
+module Scenario = Sw_attack.Scenario
+
+type attack_variant = {
+  key : string;
+  baseline : bool;
+  victim : bool;
+  colluder : bool;
+}
+
+type attack = {
+  seed : int64;
+  duration : Time.t;
+  replicas : int;
+  ping_rate_per_s : float;
+  colluder_burst : int;
+  background_rate_per_s : float;
+  variants : attack_variant list;
+}
+
+type attack_probe = { ping_rate_per_s : float }
+
+type workload = {
+  seed : int64;
+  duration : Time.t;
+  replicas : int;
+  stopwatch : bool;
+  arrival : Arrival.t;
+  classes : Flowgen.cls list;
+  keys : int;
+  theta : float;
+  cache : Cache.config;
+  pool : int;
+  max_per_conn : int;
+  request_bytes : int;
+  compute_branches : int;
+  header_bytes : int;
+  faults : Sw_fault.Schedule.t;
+  attack : attack_probe option;
+  load_multipliers : float list;
+  trace : bool;
+  profile : bool;
+}
+
+type kind = Attack of attack | Workload of workload
+type t = { name : string; kind : kind }
+
+(* --- Decoding helpers ---------------------------------------------------- *)
+
+exception Bad of string
+
+let bad path msg = raise (Bad (Printf.sprintf "%s: %s" path msg))
+
+let as_obj path = function
+  | Json.Object fields -> fields
+  | _ -> bad path "expected an object"
+
+let as_num path = function
+  | Json.Number f -> f
+  | _ -> bad path "expected a number"
+
+let as_bool path = function
+  | Json.Bool b -> b
+  | _ -> bad path "expected true or false"
+
+let as_str path = function
+  | Json.String s -> s
+  | _ -> bad path "expected a string"
+
+let as_arr path = function
+  | Json.Array items -> items
+  | _ -> bad path "expected an array"
+
+let as_int path v =
+  let f = as_num path v in
+  if Float.is_integer f then int_of_float f else bad path "expected an integer"
+
+(* Seeds: a JSON number (exact below 2^53), or a string accepted by
+   [Int64.of_string] — so full-width hex seeds like "0xDEADBEEFCAFEF00D"
+   stay representable. *)
+let as_seed path = function
+  | Json.Number f ->
+      if Float.is_integer f && Float.abs f < 9.007199254740992e15 then
+        Int64.of_float f
+      else bad path "seed must be an integer below 2^53 (or a string)"
+  | Json.String s -> (
+      match Int64.of_string_opt s with
+      | Some v -> v
+      | None -> bad path "unparsable seed string")
+  | _ -> bad path "expected a seed (number or string)"
+
+let field fields name = List.assoc_opt name fields
+
+let req fields path name decode =
+  match field fields name with
+  | Some v -> decode (path ^ "." ^ name) v
+  | None -> bad path (Printf.sprintf "missing required field %S" name)
+
+let opt fields path name ~default decode =
+  match field fields name with
+  | Some v -> decode (path ^ "." ^ name) v
+  | None -> default
+
+let time_of_s f = Time.of_float_s f
+let time_of_ms f = Time.of_float_ms f
+let time_of_us f = Time.of_float_s (f /. 1e6)
+
+(* --- Arrival ------------------------------------------------------------- *)
+
+let arrival_of_json path v =
+  let fields = as_obj path v in
+  let num name ~default = opt fields path name ~default as_num in
+  let tspan name ~default =
+    opt fields path name ~default (fun p v -> time_of_s (as_num p v))
+  in
+  match req fields path "process" as_str with
+  | "constant" ->
+      Arrival.Constant { rate_per_s = req fields path "rate_per_s" as_num }
+  | "poisson" ->
+      Arrival.Poisson { rate_per_s = req fields path "rate_per_s" as_num }
+  | "diurnal" ->
+      Arrival.Diurnal
+        {
+          base_per_s = req fields path "base_per_s" as_num;
+          amplitude = num "amplitude" ~default:0.5;
+          period = tspan "period_s" ~default:(Time.s 10);
+        }
+  | "flash" ->
+      Arrival.Flash
+        {
+          base_per_s = req fields path "base_per_s" as_num;
+          peak_per_s = req fields path "peak_per_s" as_num;
+          at = req fields path "at_s" (fun p v -> time_of_s (as_num p v));
+          ramp = tspan "ramp_s" ~default:Time.zero;
+          hold = tspan "hold_s" ~default:Time.zero;
+        }
+  | "replay" ->
+      let points =
+        List.mapi
+          (fun i point ->
+            let p = Printf.sprintf "%s.points[%d]" path i in
+            match point with
+            | Json.Array [ at; rate ] ->
+                (time_of_s (as_num p at), as_num p rate)
+            | _ -> bad p "expected a [seconds, rate_per_s] pair")
+          (req fields path "points" as_arr)
+      in
+      Arrival.Replay { points }
+  | p -> bad (path ^ ".process") (Printf.sprintf "unknown process %S" p)
+
+let arrival_to_json = function
+  | Arrival.Constant { rate_per_s } ->
+      Json.Object
+        [ ("process", String "constant"); ("rate_per_s", Number rate_per_s) ]
+  | Arrival.Poisson { rate_per_s } ->
+      Json.Object
+        [ ("process", String "poisson"); ("rate_per_s", Number rate_per_s) ]
+  | Arrival.Diurnal { base_per_s; amplitude; period } ->
+      Json.Object
+        [
+          ("process", String "diurnal");
+          ("base_per_s", Number base_per_s);
+          ("amplitude", Number amplitude);
+          ("period_s", Number (Time.to_float_s period));
+        ]
+  | Arrival.Flash { base_per_s; peak_per_s; at; ramp; hold } ->
+      Json.Object
+        [
+          ("process", String "flash");
+          ("base_per_s", Number base_per_s);
+          ("peak_per_s", Number peak_per_s);
+          ("at_s", Number (Time.to_float_s at));
+          ("ramp_s", Number (Time.to_float_s ramp));
+          ("hold_s", Number (Time.to_float_s hold));
+        ]
+  | Arrival.Replay { points } ->
+      Json.Object
+        [
+          ("process", String "replay");
+          ( "points",
+            Array
+              (List.map
+                 (fun (at, r) ->
+                   Json.Array [ Number (Time.to_float_s at); Number r ])
+                 points) );
+        ]
+
+(* --- Faults -------------------------------------------------------------- *)
+
+let target_of_json path = function
+  | Json.Null -> None
+  | Json.String "ingress" -> Some Sw_net.Address.Ingress
+  | Json.String "egress" -> Some Sw_net.Address.Egress
+  | _ -> bad path {|expected "ingress", "egress" or null|}
+
+let target_to_json = function
+  | None -> Json.Null
+  | Some Sw_net.Address.Ingress -> Json.String "ingress"
+  | Some Sw_net.Address.Egress -> Json.String "egress"
+  | Some _ -> Json.Null
+
+let fault_of_json path fields =
+  let num name = req fields path name as_num in
+  let int name = req fields path name as_int in
+  let target = opt fields path "target" ~default:None target_of_json in
+  match req fields path "kind" as_str with
+  | "link-loss" -> Sw_fault.Fault.Link_loss { target; p = num "p" }
+  | "link-latency" ->
+      Sw_fault.Fault.Link_latency { target; extra = time_of_us (num "extra_us") }
+  | "machine-stall" -> Sw_fault.Fault.Machine_stall { machine = int "machine" }
+  | "machine-slowdown" ->
+      Sw_fault.Fault.Machine_slowdown
+        { machine = int "machine"; factor = num "factor" }
+  | "dom0-pause" -> Sw_fault.Fault.Dom0_pause { machine = int "machine" }
+  | "mcast-partition" ->
+      Sw_fault.Fault.Mcast_partition { vm = int "vm"; replica = int "replica" }
+  | "replica-crash" ->
+      let restart_after =
+        opt fields path "restart_after_ms" ~default:None (fun p v ->
+            Some (time_of_ms (as_num p v)))
+      in
+      Sw_fault.Fault.Replica_crash
+        { vm = int "vm"; replica = int "replica"; restart_after }
+  | k -> bad (path ^ ".kind") (Printf.sprintf "unknown fault kind %S" k)
+
+let fault_to_json = function
+  | Sw_fault.Fault.Link_loss { target; p } ->
+      [ ("kind", Json.String "link-loss"); ("target", target_to_json target);
+        ("p", Json.Number p) ]
+  | Sw_fault.Fault.Link_latency { target; extra } ->
+      [ ("kind", Json.String "link-latency"); ("target", target_to_json target);
+        ("extra_us", Json.Number (Time.to_float_us extra)) ]
+  | Sw_fault.Fault.Machine_stall { machine } ->
+      [ ("kind", Json.String "machine-stall");
+        ("machine", Json.Number (float_of_int machine)) ]
+  | Sw_fault.Fault.Machine_slowdown { machine; factor } ->
+      [ ("kind", Json.String "machine-slowdown");
+        ("machine", Json.Number (float_of_int machine));
+        ("factor", Json.Number factor) ]
+  | Sw_fault.Fault.Dom0_pause { machine } ->
+      [ ("kind", Json.String "dom0-pause");
+        ("machine", Json.Number (float_of_int machine)) ]
+  | Sw_fault.Fault.Mcast_partition { vm; replica } ->
+      [ ("kind", Json.String "mcast-partition");
+        ("vm", Json.Number (float_of_int vm));
+        ("replica", Json.Number (float_of_int replica)) ]
+  | Sw_fault.Fault.Replica_crash { vm; replica; restart_after } ->
+      [ ("kind", Json.String "replica-crash");
+        ("vm", Json.Number (float_of_int vm));
+        ("replica", Json.Number (float_of_int replica)) ]
+      @
+      (match restart_after with
+      | None -> []
+      | Some t -> [ ("restart_after_ms", Json.Number (Time.to_float_ms t)) ])
+
+let schedule_of_json path v =
+  List.mapi
+    (fun i w ->
+      let p = Printf.sprintf "%s[%d]" path i in
+      let fields = as_obj p w in
+      {
+        Sw_fault.Schedule.at =
+          time_of_ms (req fields p "at_ms" as_num);
+        span = time_of_ms (opt fields p "span_ms" ~default:0. as_num);
+        fault = fault_of_json p fields;
+      })
+    (as_arr path v)
+
+let schedule_to_json schedule =
+  Json.Array
+    (List.map
+       (fun (w : Sw_fault.Schedule.spec) ->
+         Json.Object
+           ([
+              ("at_ms", Json.Number (Time.to_float_ms w.Sw_fault.Schedule.at));
+              ("span_ms", Json.Number (Time.to_float_ms w.span));
+            ]
+           @ fault_to_json w.fault))
+       schedule)
+
+(* --- Workload ------------------------------------------------------------ *)
+
+let class_of_json path v =
+  let fields = as_obj path v in
+  {
+    Flowgen.name = req fields path "name" as_str;
+    weight = opt fields path "weight" ~default:1. as_num;
+    resp_bytes = req fields path "resp_bytes" as_int;
+    cached = opt fields path "cached" ~default:true as_bool;
+  }
+
+let class_to_json (c : Flowgen.cls) =
+  Json.Object
+    [
+      ("name", String c.Flowgen.name);
+      ("weight", Number c.weight);
+      ("resp_bytes", Number (float_of_int c.resp_bytes));
+      ("cached", Bool c.cached);
+    ]
+
+let cache_of_json path v =
+  let fields = as_obj path v in
+  let tiers =
+    List.mapi
+      (fun i t ->
+        let p = Printf.sprintf "%s.tiers[%d]" path i in
+        let tf = as_obj p t in
+        {
+          Cache.capacity = req tf p "capacity" as_int;
+          hit_cost = time_of_us (req tf p "hit_us" as_num);
+        })
+      (req fields path "tiers" as_arr)
+  in
+  {
+    Cache.tiers;
+    origin_cost = time_of_us (req fields path "origin_us" as_num);
+  }
+
+let cache_to_json (c : Cache.config) =
+  Json.Object
+    [
+      ( "tiers",
+        Array
+          (List.map
+             (fun (t : Cache.tier) ->
+               Json.Object
+                 [
+                   ("capacity", Number (float_of_int t.Cache.capacity));
+                   ("hit_us", Number (Time.to_float_us t.hit_cost));
+                 ])
+             c.Cache.tiers) );
+      ("origin_us", Number (Time.to_float_us c.origin_cost));
+    ]
+
+let default_classes =
+  [ { Flowgen.name = "kv"; weight = 1.; resp_bytes = 2048; cached = true } ]
+
+let workload_of_json path fields =
+  let service =
+    match field fields "service" with
+    | Some v -> as_obj (path ^ ".service") v
+    | None -> []
+  in
+  let spath = path ^ ".service" in
+  let conns =
+    match field fields "connections" with
+    | Some v -> as_obj (path ^ ".connections") v
+    | None -> []
+  in
+  let cpath = path ^ ".connections" in
+  {
+    seed = opt fields path "seed" ~default:0xA77ACCL as_seed;
+    duration =
+      time_of_s (opt fields path "duration_s" ~default:10. as_num);
+    replicas = opt fields path "replicas" ~default:3 as_int;
+    stopwatch = opt fields path "stopwatch" ~default:true as_bool;
+    arrival = req fields path "arrival" arrival_of_json;
+    classes =
+      (match field service "classes" with
+      | None -> default_classes
+      | Some v ->
+          List.mapi
+            (fun i c -> class_of_json (Printf.sprintf "%s.classes[%d]" spath i) c)
+            (as_arr (spath ^ ".classes") v));
+    keys = opt service spath "keys" ~default:256 as_int;
+    theta = opt service spath "zipf_theta" ~default:1.1 as_num;
+    cache =
+      opt fields path "cache" ~default:Kv.default_config.Kv.cache cache_of_json;
+    pool = opt conns cpath "pool" ~default:8 as_int;
+    max_per_conn = opt conns cpath "max_per_conn" ~default:64 as_int;
+    request_bytes = opt service spath "request_bytes" ~default:120 as_int;
+    compute_branches = opt service spath "compute_branches" ~default:20_000 as_int;
+    header_bytes = opt service spath "header_bytes" ~default:64 as_int;
+    faults = opt fields path "faults" ~default:[] schedule_of_json;
+    attack =
+      opt fields path "attack" ~default:None (fun p v ->
+          let af = as_obj p v in
+          Some { ping_rate_per_s = opt af p "ping_rate_per_s" ~default:40. as_num });
+    load_multipliers =
+      opt fields path "load_multipliers" ~default:[ 1. ] (fun p v ->
+          List.map (as_num p) (as_arr p v));
+    trace = opt fields path "trace" ~default:false as_bool;
+    profile = opt fields path "profile" ~default:false as_bool;
+  }
+
+let workload_to_json (w : workload) =
+  [
+    ("seed", Json.Number (Int64.to_float w.seed));
+    ("duration_s", Json.Number (Time.to_float_s w.duration));
+    ("replicas", Json.Number (float_of_int w.replicas));
+    ("stopwatch", Json.Bool w.stopwatch);
+    ("arrival", arrival_to_json w.arrival);
+    ( "service",
+      Json.Object
+        [
+          ("classes", Array (List.map class_to_json w.classes));
+          ("keys", Number (float_of_int w.keys));
+          ("zipf_theta", Number w.theta);
+          ("request_bytes", Number (float_of_int w.request_bytes));
+          ("compute_branches", Number (float_of_int w.compute_branches));
+          ("header_bytes", Number (float_of_int w.header_bytes));
+        ] );
+    ("cache", cache_to_json w.cache);
+    ( "connections",
+      Json.Object
+        [
+          ("pool", Number (float_of_int w.pool));
+          ("max_per_conn", Number (float_of_int w.max_per_conn));
+        ] );
+    ("load_multipliers", Json.Array (List.map (fun m -> Json.Number m) w.load_multipliers));
+    ("faults", schedule_to_json w.faults);
+  ]
+  @ (match w.attack with
+    | None -> []
+    | Some a ->
+        [
+          ( "attack",
+            Json.Object [ ("ping_rate_per_s", Number a.ping_rate_per_s) ] );
+        ])
+  @ [ ("trace", Json.Bool w.trace); ("profile", Json.Bool w.profile) ]
+
+(* --- Attack -------------------------------------------------------------- *)
+
+let attack_of_json path fields =
+  let d = Scenario.default in
+  {
+    seed = opt fields path "seed" ~default:d.Scenario.seed as_seed;
+    duration =
+      time_of_s (opt fields path "duration_s" ~default:60. as_num);
+    replicas =
+      opt fields path "replicas"
+        ~default:d.Scenario.config.Sw_vmm.Config.replicas as_int;
+    ping_rate_per_s =
+      opt fields path "ping_rate_per_s" ~default:d.Scenario.ping_rate_per_s
+        as_num;
+    colluder_burst =
+      opt fields path "colluder_burst" ~default:d.Scenario.colluder_burst as_int;
+    background_rate_per_s =
+      opt fields path "background_rate_per_s"
+        ~default:d.Scenario.background_rate_per_s as_num;
+    variants =
+      List.mapi
+        (fun i v ->
+          let p = Printf.sprintf "%s.variants[%d]" path i in
+          let vf = as_obj p v in
+          {
+            key = req vf p "key" as_str;
+            baseline = opt vf p "baseline" ~default:false as_bool;
+            victim = opt vf p "victim" ~default:false as_bool;
+            colluder = opt vf p "colluder" ~default:false as_bool;
+          })
+        (req fields path "variants" as_arr);
+  }
+
+let attack_to_json (a : attack) =
+  [
+    ("seed", Json.Number (Int64.to_float a.seed));
+    ("duration_s", Json.Number (Time.to_float_s a.duration));
+    ("replicas", Json.Number (float_of_int a.replicas));
+    ("ping_rate_per_s", Json.Number a.ping_rate_per_s);
+    ("colluder_burst", Json.Number (float_of_int a.colluder_burst));
+    ("background_rate_per_s", Json.Number a.background_rate_per_s);
+    ( "variants",
+      Json.Array
+        (List.map
+           (fun v ->
+             Json.Object
+               [
+                 ("key", String v.key);
+                 ("baseline", Bool v.baseline);
+                 ("victim", Bool v.victim);
+                 ("colluder", Bool v.colluder);
+               ])
+           a.variants) );
+  ]
+
+(* --- Top level ----------------------------------------------------------- *)
+
+let of_json json =
+  match
+    let fields = as_obj "scenario" json in
+    let name = req fields "scenario" "name" as_str in
+    let kind =
+      match req fields "scenario" "kind" as_str with
+      | "workload" -> Workload (workload_of_json "scenario" fields)
+      | "attack" -> Attack (attack_of_json "scenario" fields)
+      | k -> bad "scenario.kind" (Printf.sprintf "unknown kind %S" k)
+    in
+    { name; kind }
+  with
+  | t -> Ok t
+  | exception Bad msg -> Error msg
+
+let to_json t =
+  let kind, rest =
+    match t.kind with
+    | Workload w -> ("workload", workload_to_json w)
+    | Attack a -> ("attack", attack_to_json a)
+  in
+  Json.Object
+    ((("name", Json.String t.name) :: ("kind", Json.String kind) :: []) @ rest)
+
+let parse s = Result.bind (Json.parse s) of_json
+let print t = Json.to_string (to_json t)
+
+let load_file file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | contents -> (
+      match parse contents with
+      | Ok t -> Ok t
+      | Error e -> Error (Printf.sprintf "%s: %s" file e))
+  | exception Sys_error e -> Error e
+
+(* --- Compilation --------------------------------------------------------- *)
+
+let attack_specs (a : attack) =
+  let base =
+    Scenario.with_replicas
+      {
+        Scenario.default with
+        Scenario.duration = a.duration;
+        seed = a.seed;
+        ping_rate_per_s = a.ping_rate_per_s;
+        colluder_burst = a.colluder_burst;
+        background_rate_per_s = a.background_rate_per_s;
+      }
+      a.replicas
+  in
+  List.map
+    (fun v ->
+      ( v.key,
+        {
+          base with
+          Scenario.baseline = v.baseline;
+          victim = v.victim;
+          colluder = v.colluder;
+        } ))
+    a.variants
+
+let scaled w m =
+  let arrival =
+    match w.arrival with
+    | Arrival.Constant { rate_per_s } ->
+        Arrival.Constant { rate_per_s = rate_per_s *. m }
+    | Arrival.Poisson { rate_per_s } ->
+        Arrival.Poisson { rate_per_s = rate_per_s *. m }
+    | Arrival.Diurnal { base_per_s; amplitude; period } ->
+        Arrival.Diurnal { base_per_s = base_per_s *. m; amplitude; period }
+    | Arrival.Flash { base_per_s; peak_per_s; at; ramp; hold } ->
+        Arrival.Flash
+          {
+            base_per_s = base_per_s *. m;
+            peak_per_s = peak_per_s *. m;
+            at;
+            ramp;
+            hold;
+          }
+    | Arrival.Replay { points } ->
+        Arrival.Replay
+          { points = List.map (fun (t, r) -> (t, r *. m)) points }
+  in
+  { w with arrival }
+
+let workload_variants ~name w =
+  match w.load_multipliers with
+  | [] | [ 1. ] -> [ (name, w) ]
+  | multipliers ->
+      List.mapi
+        (fun i m ->
+          let seed =
+            Int64.add w.seed (Int64.mul (Int64.of_int i) 0x9E3779B97F4A7C15L)
+          in
+          ( Printf.sprintf "%s/x%g" name m,
+            { (scaled w m) with seed; load_multipliers = [ m ] } ))
+        multipliers

@@ -1,0 +1,98 @@
+(** The declarative scenario DSL: [.scn] files.
+
+    A [.scn] file is one JSON object (parsed with the dependency-free
+    {!Sw_obs.Json} reader, so malformed files report line/column) that
+    describes a complete scenario as data — arrival process, service mix,
+    cache tiers, connection policy, fault schedule, attack placement,
+    trace/profile flags, duration — and compiles into the existing
+    in-tree spec types. Two kinds exist:
+
+    - [kind = "workload"]: an open-loop traffic scenario compiled into a
+      {!Flowgen.config} + {!Kv.config} cloud run (see [Run]). An optional
+      ["load_multipliers"] list expands the scenario into one run per
+      multiplier (arrival rates scaled), which is what [-j N] shards.
+    - [kind = "attack"]: a Fig.-4-style attack scenario family compiled
+      into {!Sw_attack.Scenario.spec} values, one per ["variants"] entry —
+      proving the hand-coded figure benches are representable as data
+      ([examples/fig4.scn] reproduces [bench/fig4.ml] byte-identically).
+
+    Omitted fields take documented defaults, so minimal files stay small;
+    {!to_json} always re-emits every field, and [parse -> print -> parse]
+    is the identity (the round-trip property the tests pin). *)
+
+type attack_variant = {
+  key : string;  (** Runner job key, e.g. ["fig4/sw/victim"]. *)
+  baseline : bool;
+  victim : bool;
+  colluder : bool;
+}
+
+type attack = {
+  seed : int64;
+  duration : Sw_sim.Time.t;
+  replicas : int;
+  ping_rate_per_s : float;
+  colluder_burst : int;
+  background_rate_per_s : float;
+  variants : attack_variant list;
+}
+
+(** Attack placement inside a workload scenario: a co-resident observer VM
+    (the Fig. 4 receiver) deployed on the service's machines, pinged from
+    an external host — pointing the attack library at the workload's
+    cache-asymmetry channel. *)
+type attack_probe = { ping_rate_per_s : float }
+
+type workload = {
+  seed : int64;
+  duration : Sw_sim.Time.t;
+  replicas : int;
+  stopwatch : bool;  (** [false] = unmodified-Xen baseline. *)
+  arrival : Arrival.t;
+  classes : Flowgen.cls list;
+  keys : int;
+  theta : float;  (** Zipf exponent of the key popularity. *)
+  cache : Cache.config;
+  pool : int;
+  max_per_conn : int;
+  request_bytes : int;
+  compute_branches : int;
+  header_bytes : int;
+  faults : Sw_fault.Schedule.t;
+  attack : attack_probe option;
+  load_multipliers : float list;
+  trace : bool;
+  profile : bool;
+}
+
+type kind = Attack of attack | Workload of workload
+type t = { name : string; kind : kind }
+
+(** Structured decode with field-path error context (e.g.
+    ["arrival.process: unknown process \"diurnl\""]). *)
+val of_json : Sw_obs.Json.t -> (t, string) result
+
+(** Re-emits every field explicitly (defaults included). *)
+val to_json : t -> Sw_obs.Json.t
+
+(** [parse s] = JSON parse (line/column errors) + {!of_json}. *)
+val parse : string -> (t, string) result
+
+(** [print t] = [Sw_obs.Json.to_string (to_json t)]. *)
+val print : t -> string
+
+(** Reads and parses a file; errors are prefixed with the path. *)
+val load_file : string -> (t, string) result
+
+(** Compile an attack scenario family into runner-keyed specs, in variant
+    order. *)
+val attack_specs : attack -> (string * Sw_attack.Scenario.spec) list
+
+(** [scaled w m] multiplies every arrival rate by [m]. *)
+val scaled : workload -> float -> workload
+
+(** [workload_variants ~name w] expands [w.load_multipliers] into one
+    scaled run per multiplier, keyed ["<name>/x<mult>"], each with a seed
+    derived deterministically from [w.seed] and its position. A singleton
+    [1.0] sweep yields exactly [(name, w)]. *)
+val workload_variants : name:string -> workload -> (string * workload) list

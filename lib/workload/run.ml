@@ -1,0 +1,139 @@
+module Time = Sw_sim.Time
+module Prng = Sw_sim.Prng
+module Cloud = Stopwatch.Cloud
+module Host = Stopwatch.Host
+module Probe = Sw_apps.Probe
+module Snapshot = Sw_obs.Snapshot
+
+type result = {
+  issued : int;
+  completed : int;
+  hits : int;
+  misses : int;
+  p50_ms : float;
+  p99_ms : float;
+  attacker_inter_delivery_ms : float array;
+  trace : Sw_obs.Trace.t option;
+  metrics : Snapshot.t;
+}
+
+let quantile_ms snapshot name q =
+  match Snapshot.histogram snapshot name with
+  | None -> 0.
+  | Some h when h.Snapshot.count = 0 -> 0.
+  | Some h ->
+      let target =
+        let t = int_of_float (ceil (q *. float_of_int h.Snapshot.count)) in
+        if t < 1 then 1 else if t > h.Snapshot.count then h.Snapshot.count else t
+      in
+      let rec walk cum = function
+        | [] -> h.Snapshot.max
+        | (idx, n) :: rest ->
+            let cum = cum + n in
+            if cum >= target then Sw_obs.Buckets.bound idx else walk cum rest
+      in
+      let bound = walk 0 h.Snapshot.buckets in
+      let bound = Int64.max h.Snapshot.min (Int64.min h.Snapshot.max bound) in
+      Time.to_float_ms bound
+
+(* Everything in flight when the offered load stops gets this long to
+   drain before we snapshot. *)
+let drain = Time.ms 500
+
+let run (w : Dsl.workload) =
+  let m = w.replicas in
+  let config = { Sw_vmm.Config.default with Sw_vmm.Config.replicas = m } in
+  let machines = if w.stopwatch then m else 1 in
+  let profile = if w.profile then Some (Sw_obs.Profile.create ()) else None in
+  let cloud = Cloud.create ~config ~seed:w.seed ?profile ~machines () in
+  let trace =
+    if not w.trace then None
+    else begin
+      let tr = Sw_obs.Trace.create ~metrics:(Cloud.metrics cloud) () in
+      Cloud.attach_trace cloud tr;
+      Sw_obs.Trace.enable tr;
+      Some tr
+    end
+  in
+  let deploy_guest ~app =
+    if w.stopwatch then
+      Cloud.deploy cloud ~on:(List.init m (fun i -> i)) ~app
+    else Cloud.deploy_baseline cloud ~on:0 ~app
+  in
+  let kv_config =
+    {
+      Kv.cache = w.cache;
+      compute_branches = Int64.of_int w.compute_branches;
+      header_bytes = w.header_bytes;
+      tcp = None;
+    }
+  in
+  let service = deploy_guest ~app:(Kv.server kv_config) in
+  (* Optional attack placement: the Fig. 4 receiver co-resident with the
+     service (same machines, so its replicas time-share with the service's),
+     pinged from an external host and echoing to an external observer. *)
+  let probe =
+    match w.attack with
+    | None -> None
+    | Some { Dsl.ping_rate_per_s } ->
+        let pinger = Cloud.add_host cloud () in
+        let observer = Cloud.add_host cloud () in
+        let attacker =
+          deploy_guest
+            ~app:(Probe.receiver ~echo_to:(Host.address observer) ~echo_every:1 ())
+        in
+        let rng = Prng.create (Int64.add w.seed 17L) in
+        let attacker_addr = Cloud.vm_address attacker in
+        let count = ref 0 in
+        let rec ping () =
+          let gap = Prng.exponential rng ~rate:ping_rate_per_s in
+          Host.after pinger (Time.of_float_s gap) (fun () ->
+              incr count;
+              Host.send pinger ~dst:attacker_addr ~size:100
+                (Probe.Probe_ping !count);
+              ping ())
+        in
+        ping ();
+        Some attacker
+  in
+  if w.faults <> [] then ignore (Cloud.install_faults cloud w.faults);
+  let client = Cloud.add_host cloud () in
+  let flow =
+    Flowgen.launch ~host:client ~dst:(Cloud.vm_address service)
+      ~registry:(Cloud.metrics cloud)
+      ~rng:(Prng.create (Int64.add w.seed 29L))
+      {
+        Flowgen.arrival = w.arrival;
+        classes = w.classes;
+        keyspace = Keyspace.create ~keys:w.keys ~theta:w.theta;
+        pool = w.pool;
+        max_per_conn = w.max_per_conn;
+        request_bytes = w.request_bytes;
+        until = w.duration;
+      }
+  in
+  Cloud.run cloud ~until:(Time.add w.duration drain);
+  let metrics = Cloud.metrics_snapshot cloud in
+  let attacker_inter_delivery_ms =
+    match probe with
+    | None -> [||]
+    | Some attacker ->
+        let observed_machine = if w.stopwatch then m - 1 else 0 in
+        let instance =
+          match Cloud.replica_on attacker ~machine:observed_machine with
+          | Some i -> i
+          | None -> List.hd (Cloud.replicas attacker)
+        in
+        Sw_vmm.Vmm.inter_delivery_virts_ms instance
+  in
+  {
+    issued = Flowgen.issued flow;
+    completed = Flowgen.completed flow;
+    hits = Flowgen.hits flow;
+    misses = Flowgen.misses flow;
+    p50_ms = quantile_ms metrics "workload.response_ns" 0.5;
+    p99_ms = quantile_ms metrics "workload.response_ns" 0.99;
+    attacker_inter_delivery_ms;
+    trace;
+    metrics;
+  }

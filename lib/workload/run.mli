@@ -1,0 +1,35 @@
+(** Compile-and-run driver for [kind = "workload"] scenarios.
+
+    Builds the cloud described by a {!Dsl.workload} — StopWatch replicas or
+    an unmodified-Xen baseline, the {!Kv} front service, the {!Flowgen}
+    open-loop client, optional co-resident attack probe, fault schedule,
+    trace/profile instrumentation — advances the simulation for the
+    scenario's duration plus a fixed drain window, and distils the
+    [workload.*] metrics into a result record.
+
+    Deterministic: every generator is seeded from [w.seed] alone, so equal
+    workload values produce byte-identical results (the property the runner
+    relies on to shard load-multiplier sweeps across [-j N] domains). *)
+
+type result = {
+  issued : int;  (** Requests offered by the open-loop client. *)
+  completed : int;  (** Responses received before the drain window closed. *)
+  hits : int;
+  misses : int;
+  p50_ms : float;  (** Response-time quantiles read off the bucket ladder. *)
+  p99_ms : float;
+  attacker_inter_delivery_ms : float array;
+      (** Virtual inter-delivery times at the co-resident probe; empty
+          without an [attack] clause. *)
+  trace : Sw_obs.Trace.t option;
+      (** The cloud-wide trace sink, when the scenario asked for one. *)
+  metrics : Sw_obs.Snapshot.t;
+}
+
+(** [quantile_ms snapshot name q] reads the [q]-quantile (in ms) of a
+    histogram out of a snapshot: the upper bound of the first bucket whose
+    cumulative count reaches [q], clamped to the observed min/max. [0.]
+    when the histogram is absent or empty. *)
+val quantile_ms : Sw_obs.Snapshot.t -> string -> float -> float
+
+val run : Dsl.workload -> result

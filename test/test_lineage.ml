@@ -29,7 +29,7 @@ let test_json_parse () =
             (Json.to_number z)
       | _ -> Alcotest.fail "array shape");
       Alcotest.(check (option string)) "escapes" (Some "x\n\"y")
-        (Option.bind (Json.member "b" v) Json.to_string);
+        (Option.bind (Json.member "b" v) Json.as_string);
       Alcotest.(check bool) "bool member" true
         (Json.member "c" v = Some (Json.Bool true));
       Alcotest.(check bool) "null member" true (Json.member "d" v = Some Json.Null));
@@ -277,7 +277,7 @@ let test_chrome_structure () =
         | None -> Alcotest.fail "no traceEvents"
       in
       let ph p ev =
-        match Option.bind (Json.member "ph" ev) Json.to_string with
+        match Option.bind (Json.member "ph" ev) Json.as_string with
         | Some x -> String.equal x p
         | None -> false
       in

@@ -1,0 +1,365 @@
+(* sw_workload: arrival-process counts against their analytic means, DSL
+   parse/print round-trips and error positions, the tiered cache's LRU
+   mechanics, the fig4.scn = bench/fig4.ml spec equivalence, and the
+   engine's -j1 = -j4 byte-identity contract. *)
+
+module Time = Sw_sim.Time
+module Prng = Sw_sim.Prng
+module Arrival = Sw_workload.Arrival
+module Keyspace = Sw_workload.Keyspace
+module Cache = Sw_workload.Cache
+module Dsl = Sw_workload.Dsl
+module Run = Sw_workload.Run
+module Scenario = Sw_attack.Scenario
+module Pool = Sw_runner.Pool
+module Runner = Sw_runner.Runner
+module Export = Sw_obs.Export
+module Snapshot = Sw_obs.Snapshot
+
+let count_arrivals t ~seed ~until =
+  let gen = Arrival.generator t ~rng:(Prng.create seed) ~until in
+  let rec go n last =
+    match Arrival.next gen with
+    | None -> n
+    | Some at ->
+        assert (Time.compare at last > 0);
+        assert (Time.compare at until < 0);
+        go (n + 1) at
+  in
+  go 0 (Time.ns (-1))
+
+(* Sampled counts stay within a 5-sigma Poisson band of the analytic mean:
+   loose enough never to flake over the qcheck seed range, tight enough to
+   catch a wrong envelope or integral. *)
+let check_count t ~seed ~until =
+  let mean = Arrival.mean_count t ~until in
+  let n = float_of_int (count_arrivals t ~seed ~until) in
+  let slack = (5. *. sqrt mean) +. 10. in
+  abs_float (n -. mean) <= slack
+
+let prop_poisson_count =
+  QCheck.Test.make ~count:40 ~name:"Poisson arrivals match the analytic mean"
+    QCheck.(pair (int_range 10 400) int64)
+    (fun (rate, seed) ->
+      check_count
+        (Arrival.Poisson { rate_per_s = float_of_int rate })
+        ~seed ~until:(Time.s 10))
+
+let prop_diurnal_count =
+  QCheck.Test.make ~count:40 ~name:"diurnal arrivals match the analytic mean"
+    QCheck.(triple (int_range 10 300) (float_range 0. 1.) int64)
+    (fun (base, amplitude, seed) ->
+      check_count
+        (Arrival.Diurnal
+           { base_per_s = float_of_int base; amplitude; period = Time.s 3 })
+        ~seed ~until:(Time.s 10))
+
+let prop_flash_count =
+  QCheck.Test.make ~count:40 ~name:"flash-crowd arrivals match the analytic mean"
+    QCheck.(pair (int_range 20 200) int64)
+    (fun (peak, seed) ->
+      check_count
+        (Arrival.Flash
+           {
+             base_per_s = 15.;
+             peak_per_s = float_of_int (peak + 20);
+             at = Time.s 2;
+             ramp = Time.ms 500;
+             hold = Time.s 1;
+           })
+        ~seed ~until:(Time.s 6))
+
+let test_constant_exact () =
+  (* 50/s for 2 s: arrivals at 20 ms, 40 ms, ..., strictly below 2 s. *)
+  let n =
+    count_arrivals (Arrival.Constant { rate_per_s = 50. }) ~seed:1L
+      ~until:(Time.s 2)
+  in
+  Alcotest.(check int) "constant count" 99 n;
+  Alcotest.(check (float 1e-9))
+    "constant mean"
+    100.
+    (Arrival.mean_count (Arrival.Constant { rate_per_s = 50. }) ~until:(Time.s 2))
+
+let test_replay_mean () =
+  let t =
+    Arrival.Replay
+      { points = [ (Time.s 0, 10.); (Time.s 1, 100.); (Time.s 2, 0.) ] }
+  in
+  Alcotest.(check (float 1e-6))
+    "replay integral" 110.
+    (Arrival.mean_count t ~until:(Time.s 5));
+  Alcotest.(check bool) "replay sampled count" true
+    (check_count t ~seed:7L ~until:(Time.s 5))
+
+let test_arrival_determinism () =
+  let t =
+    Arrival.Diurnal { base_per_s = 120.; amplitude = 0.7; period = Time.s 2 }
+  in
+  let enumerate seed =
+    let gen = Arrival.generator t ~rng:(Prng.create seed) ~until:(Time.s 4) in
+    let rec go acc =
+      match Arrival.next gen with None -> List.rev acc | Some a -> go (a :: acc)
+    in
+    go []
+  in
+  Alcotest.(check bool) "same seed, same instants" true
+    (enumerate 42L = enumerate 42L);
+  Alcotest.(check bool) "different seed, different instants" false
+    (enumerate 42L = enumerate 43L)
+
+(* --- keyspace ------------------------------------------------------------- *)
+
+let test_zipf_weights () =
+  let ks = Keyspace.create ~keys:100 ~theta:1.1 in
+  let total = ref 0. in
+  for k = 0 to 99 do
+    total := !total +. Keyspace.weight ks k
+  done;
+  Alcotest.(check (float 1e-9)) "weights normalise" 1. !total;
+  Alcotest.(check bool) "head hotter than tail" true
+    (Keyspace.weight ks 0 > 10. *. Keyspace.weight ks 99);
+  let uniform = Keyspace.create ~keys:10 ~theta:0. in
+  Alcotest.(check (float 1e-9)) "theta=0 is uniform" 0.1 (Keyspace.weight uniform 3)
+
+let test_zipf_sample_range () =
+  let ks = Keyspace.create ~keys:64 ~theta:1.3 in
+  let rng = Prng.create 5L in
+  for _ = 1 to 10_000 do
+    let k = Keyspace.sample ks rng in
+    if k < 0 || k >= 64 then Alcotest.fail "sample out of range"
+  done
+
+(* --- cache ---------------------------------------------------------------- *)
+
+let two_tier =
+  {
+    Cache.tiers =
+      [
+        { Cache.capacity = 2; hit_cost = Time.us 10 };
+        { Cache.capacity = 3; hit_cost = Time.us 100 };
+      ];
+    origin_cost = Time.ms 1;
+  }
+
+let test_cache_mechanics () =
+  let c = Cache.create two_tier in
+  (match Cache.access c 1 with
+  | Cache.Miss { cost } ->
+      Alcotest.(check int64) "miss pays origin" (Time.ms 1) cost
+  | Cache.Hit _ -> Alcotest.fail "cold access hit");
+  (match Cache.access c 1 with
+  | Cache.Hit { tier; cost } ->
+      Alcotest.(check int) "warm hit in tier 0" 0 tier;
+      Alcotest.(check int64) "hit pays tier cost" (Time.us 10) cost
+  | Cache.Miss _ -> Alcotest.fail "warm access missed");
+  (* Fill past tier 0: the LRU tail demotes to tier 1 and hits there. *)
+  ignore (Cache.access c 2);
+  ignore (Cache.access c 3);
+  (match Cache.access c 1 with
+  | Cache.Hit { tier; _ } -> Alcotest.(check int) "demoted to tier 1" 1 tier
+  | Cache.Miss _ -> Alcotest.fail "demoted key evicted");
+  Alcotest.(check int) "population tracks inserts" 3 (Cache.population c);
+  Alcotest.(check int) "hit count" 2 (Cache.hits c);
+  Alcotest.(check int) "miss count" 3 (Cache.misses c)
+
+let test_cache_eviction () =
+  let c = Cache.create two_tier in
+  (* Capacity 2 + 3 = 5; six distinct keys must evict the coldest. *)
+  for k = 0 to 5 do
+    ignore (Cache.access c k)
+  done;
+  Alcotest.(check int) "population capped" 5 (Cache.population c);
+  match Cache.access c 0 with
+  | Cache.Miss _ -> ()
+  | Cache.Hit _ -> Alcotest.fail "evicted key still resident"
+
+(* --- DSL ------------------------------------------------------------------ *)
+
+(* dune runtest runs in _build/default/test; dune exec from the repo root. *)
+let scn file =
+  let candidates =
+    [ Filename.concat "../examples" file; Filename.concat "examples" file ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> Filename.concat "../examples" file
+
+let load file =
+  match Dsl.load_file (scn file) with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "%s failed to load: %s" file e
+
+let test_roundtrip () =
+  List.iter
+    (fun file ->
+      let t = load file in
+      let printed = Dsl.print t in
+      match Dsl.parse printed with
+      | Error e -> Alcotest.failf "%s: reprint does not parse: %s" file e
+      | Ok t' ->
+          if t <> t' then
+            Alcotest.failf "%s: parse -> print -> parse not the identity" file;
+          (* print is deterministic, so a second round is byte-stable. *)
+          Alcotest.(check string) "print stable" printed (Dsl.print t'))
+    [
+      "fig4.scn"; "diurnal.scn"; "flash_crowd.scn"; "kv_skew.scn";
+      "trace_replay.scn";
+    ]
+
+let expect_error ~substring source =
+  match Dsl.parse source with
+  | Ok _ -> Alcotest.failf "expected a parse error mentioning %S" substring
+  | Error e ->
+      let contains hay needle =
+        let h = String.length hay and n = String.length needle in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        n = 0 || go 0
+      in
+      if not (contains e substring) then
+        Alcotest.failf "error %S does not mention %S" e substring
+
+let test_error_positions () =
+  (* Lexical error: the reader reports line and column. *)
+  expect_error ~substring:"line 3" "{\n  \"name\": \"x\",\n  \"kind\": }\n";
+  expect_error ~substring:"column 11" "{\n  \"name\": \"x\",\n  \"kind\": }\n";
+  (* Structural errors: the decoder reports the field path. *)
+  expect_error ~substring:"scenario.kind"
+    {|{ "name": "x", "kind": "neither" }|};
+  expect_error ~substring:"arrival.process"
+    {|{ "name": "x", "kind": "workload",
+       "arrival": { "process": "diurnl", "base_per_s": 10 } }|};
+  expect_error ~substring:"missing required field"
+    {|{ "name": "x", "kind": "workload" }|};
+  expect_error ~substring:"faults[0]"
+    {|{ "name": "x", "kind": "workload",
+       "arrival": { "process": "poisson", "rate_per_s": 10 },
+       "faults": [ { "at_ms": 5, "kind": "warp-core-breach" } ] }|}
+
+let test_fig4_scn_matches_bench () =
+  (* The DSL-compiled fig4 family must be structurally identical to the
+     hand-built list bench/fig4.ml carried before it loaded the .scn file;
+     identical specs make Scenario.run reproduce the seed output byte for
+     byte. *)
+  let specs =
+    match load "fig4.scn" with
+    | { Dsl.kind = Dsl.Attack a; _ } -> Dsl.attack_specs a
+    | _ -> Alcotest.fail "fig4.scn is not an attack scenario"
+  in
+  let base = { Scenario.default with Scenario.duration = Time.s 60 } in
+  let expected =
+    [
+      ("fig4/sw/no-victim", { base with Scenario.victim = false });
+      ("fig4/sw/victim", { base with Scenario.victim = true });
+      ("fig4/base/no-victim", { base with Scenario.baseline = true; victim = false });
+      ("fig4/base/victim", { base with Scenario.baseline = true; victim = true });
+    ]
+  in
+  Alcotest.(check int) "variant count" (List.length expected) (List.length specs);
+  List.iter2
+    (fun (k, s) (k', s') ->
+      Alcotest.(check string) "key" k' k;
+      if s <> s' then Alcotest.failf "%s: compiled spec differs from seed" k)
+    specs expected
+
+let test_variant_expansion () =
+  let w =
+    match load "kv_skew.scn" with
+    | { Dsl.kind = Dsl.Workload w; _ } -> w
+    | _ -> Alcotest.fail "kv_skew.scn is not a workload"
+  in
+  let variants = Dsl.workload_variants ~name:"kv" w in
+  Alcotest.(check (list string))
+    "keys" [ "kv/x0.5"; "kv/x1"; "kv/x2" ]
+    (List.map fst variants);
+  let seeds = List.map (fun (_, v) -> v.Dsl.seed) variants in
+  Alcotest.(check bool) "seeds distinct" true
+    (List.length (List.sort_uniq Int64.compare seeds) = 3);
+  let rate v =
+    match v.Dsl.arrival with
+    | Arrival.Poisson { rate_per_s } -> rate_per_s
+    | _ -> Alcotest.fail "expected poisson"
+  in
+  (match variants with
+  | [ (_, half); (_, one); (_, two) ] ->
+      Alcotest.(check (float 1e-9)) "x0.5 rate" 60. (rate half);
+      Alcotest.(check (float 1e-9)) "x1 rate" 120. (rate one);
+      Alcotest.(check (float 1e-9)) "x2 rate" 240. (rate two)
+  | _ -> Alcotest.fail "expected three variants");
+  (* A singleton [1.0] sweep is the identity. *)
+  let single = { w with Dsl.load_multipliers = [ 1. ] } in
+  match Dsl.workload_variants ~name:"kv" single with
+  | [ (k, v) ] ->
+      Alcotest.(check string) "singleton key" "kv" k;
+      if v <> single then Alcotest.fail "singleton sweep altered the workload"
+  | _ -> Alcotest.fail "singleton sweep expanded"
+
+(* --- engine determinism --------------------------------------------------- *)
+
+let small_workload () =
+  match load "diurnal.scn" with
+  | { Dsl.kind = Dsl.Workload w; _ } ->
+      { w with Dsl.duration = Time.ms 800; load_multipliers = [ 0.5; 1. ] }
+  | _ -> Alcotest.fail "diurnal.scn is not a workload"
+
+let merged_bytes ~workers =
+  let w = small_workload () in
+  let jobs =
+    List.map
+      (fun (key, v) -> Sw_runner.Job.make ~key (fun ~seed:_ -> Run.run v))
+      (Dsl.workload_variants ~name:"diurnal" w)
+  in
+  let outcomes =
+    Pool.with_pool ~workers (fun pool -> Runner.map ~pool jobs)
+  in
+  let results = List.map Runner.get outcomes in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "served traffic" true (r.Run.completed > 0))
+    results;
+  Export.to_json_string
+    (Snapshot.merge_all (List.map (fun r -> r.Run.metrics) results))
+
+let test_j1_j4_bytes () =
+  Alcotest.(check string)
+    "-j1 and -j4 merge to identical bytes" (merged_bytes ~workers:1)
+    (merged_bytes ~workers:4)
+
+let () =
+  Alcotest.run "sw_workload"
+    [
+      ( "arrival",
+        [
+          QCheck_alcotest.to_alcotest prop_poisson_count;
+          QCheck_alcotest.to_alcotest prop_diurnal_count;
+          QCheck_alcotest.to_alcotest prop_flash_count;
+          Alcotest.test_case "constant is exact" `Quick test_constant_exact;
+          Alcotest.test_case "replay integral" `Quick test_replay_mean;
+          Alcotest.test_case "seed-deterministic" `Quick test_arrival_determinism;
+        ] );
+      ( "keyspace",
+        [
+          Alcotest.test_case "zipf weights" `Quick test_zipf_weights;
+          Alcotest.test_case "sample range" `Quick test_zipf_sample_range;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "promote / demote / costs" `Quick
+            test_cache_mechanics;
+          Alcotest.test_case "eviction cascade" `Quick test_cache_eviction;
+        ] );
+      ( "dsl",
+        [
+          Alcotest.test_case "parse -> print -> parse" `Quick test_roundtrip;
+          Alcotest.test_case "error positions and paths" `Quick
+            test_error_positions;
+          Alcotest.test_case "fig4.scn = bench specs" `Quick
+            test_fig4_scn_matches_bench;
+          Alcotest.test_case "load-multiplier expansion" `Quick
+            test_variant_expansion;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "workload merge -j1 = -j4" `Slow test_j1_j4_bytes;
+        ] );
+    ]
