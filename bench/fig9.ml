@@ -43,6 +43,7 @@ let workload ~arrival ~stopwatch ~duration ~multipliers : Dsl.workload =
     header_bytes = 64;
     faults = [];
     attack = None;
+    topology = None;
     load_multipliers = multipliers;
     trace = false;
     profile = false;

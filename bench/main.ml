@@ -2,16 +2,19 @@
    evaluation (see DESIGN.md's per-experiment index), plus ablations and
    bechamel micro-benchmarks.
 
-   Usage: main.exe [-j N] [-quick] [experiment ...]
+   Usage: main.exe [-j N] [-quick] [--shards N] [experiment ...]
    where experiment is one of fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9
-   placement utilization theorems collusion ablation scale micro chaos quick, or
-   nothing / "all" for everything except chaos and quick. [-quick] shrinks
-   the chaos sweep to its CI smoke form.
+   placement utilization theorems collusion ablation scale shard micro chaos
+   quick, or nothing / "all" for everything except chaos and quick. [-quick]
+   shrinks the chaos, engine, fig9, and shard sweeps to their CI smoke forms.
 
    -j / --jobs N shards each experiment's independent simulations across N
    worker domains via sw_runner; results are identical to -j 1 (per-job
-   seeds are derived before dispatch), only faster. Every invocation also
-   writes machine-readable results to BENCH_results.json. *)
+   seeds are derived before dispatch), only faster. --shards N narrows the
+   shard experiment's conservative-parallel sweep to [1; N] (each variant's
+   cloud then runs on N engine domains — composes with -j, which
+   parallelises across variants). Every invocation also writes
+   machine-readable results to BENCH_results.json. *)
 
 let experiments =
   [
@@ -29,6 +32,7 @@ let experiments =
     ("collusion", fun ~pool:_ -> Bench_collusion.run ());
     ("ablation", fun ~pool -> Bench_ablation.run ?pool ());
     ("scale", fun ~pool:_ -> Bench_scale.run ());
+    ("shard", fun ~pool:_ -> Bench_shard.run ());
     ("micro", fun ~pool:_ -> Bench_micro.run ());
     ("engine", fun ~pool:_ -> Bench_engine.run ());
     ("chaos", fun ~pool -> Bench_chaos.run ?pool ());
@@ -40,7 +44,8 @@ let default_set =
   |> List.map fst
 
 let usage () =
-  Printf.eprintf "usage: main.exe [-j N] [experiment ...]\navailable: %s\n"
+  Printf.eprintf
+    "usage: main.exe [-j N] [-quick] [--shards N] [experiment ...]\navailable: %s\n"
     (String.concat ", " (List.map fst experiments));
   exit 2
 
@@ -63,8 +68,20 @@ let parse_args () =
     | ("-quick" | "--quick") :: rest ->
         Bench_chaos.quick := true;
         Bench_engine.quick := true;
+        Bench_shard.quick := true;
         Fig9.quick := true;
         go rest
+    | "--shards" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            Bench_shard.shards_override := Some v;
+            go rest
+        | _ ->
+            Printf.eprintf "--shards expects a positive integer, got %S\n" n;
+            exit 2)
+    | "--shards" :: [] ->
+        Printf.eprintf "--shards expects a shard count\n";
+        exit 2
     | name :: rest ->
         names := name :: !names;
         go rest

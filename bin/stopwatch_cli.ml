@@ -488,6 +488,9 @@ let validate_scenario (t : Dsl.t) =
   match t.Dsl.kind with
   | Dsl.Attack _ -> Ok t
   | Dsl.Workload w -> (
+      match Dsl.check_topology w with
+      | Error e -> Error e
+      | Ok () -> (
       (* Surface config errors at check time, not at run time. *)
       match
         Sw_workload.Flowgen.validate
@@ -505,7 +508,7 @@ let validate_scenario (t : Dsl.t) =
         Sw_fault.Schedule.validate w.Dsl.faults
       with
       | () -> Ok t
-      | exception Invalid_argument e -> Error e)
+      | exception Invalid_argument e -> Error e))
 
 let load_scenario file =
   match Dsl.load_file file with
@@ -527,8 +530,16 @@ let workload_check_cmd =
                 | Dsl.Attack a ->
                     Printf.sprintf "attack, %d variants" (List.length a.Dsl.variants)
                 | Dsl.Workload w ->
-                    Printf.sprintf "workload, %d load points"
+                    let topo =
+                      match w.Dsl.topology with
+                      | None -> ""
+                      | Some t ->
+                          Printf.sprintf ", %d hosts / %d shards" t.Dsl.hosts
+                            t.Dsl.shards
+                    in
+                    Printf.sprintf "workload, %d load points%s"
                       (List.length w.Dsl.load_multipliers)
+                      topo
               in
               Printf.printf "%s: OK (%s: %s)\n" file t.Dsl.name kind;
               None
@@ -575,7 +586,7 @@ let run_variants ~pool ~make jobs_list =
     (Sw_runner.Runner.map ?pool jobs)
 
 let workload_run_cmd =
-  let run file seconds jobs output smoke =
+  let run file seconds jobs shards output smoke =
     with_pool jobs (fun pool ->
         match load_scenario file with
         | Error e ->
@@ -606,14 +617,29 @@ let workload_run_cmd =
               results;
             ignore name;
             0
-        | Ok { Dsl.name; kind = Dsl.Workload w } ->
+        | Ok { Dsl.name; kind = Dsl.Workload w } -> (
             let w =
               match seconds with
               | None -> w
               | Some s -> { w with Dsl.duration = Sw_sim.Time.of_float_s s }
             in
+            (* Pre-flight the --shards override here, where it can fail with
+               a one-line message instead of a runner job-failure trace. *)
+            let overridden =
+              match (shards, w.Dsl.topology) with
+              | Some s, Some t ->
+                  { w with Dsl.topology = Some { t with Dsl.shards = s } }
+              | _ -> w
+            in
+            match Dsl.check_topology overridden with
+            | Error e ->
+                Printf.eprintf "error: %s\n" e;
+                1
+            | Ok () ->
             let results =
-              run_variants ~pool ~make:Wrun.run (Dsl.workload_variants ~name w)
+              run_variants ~pool
+                ~make:(fun w -> Wrun.run ?shards w)
+                (Dsl.workload_variants ~name w)
             in
             List.iter
               (fun (key, (r : Wrun.result)) ->
@@ -649,7 +675,7 @@ let workload_run_cmd =
                 0
               end
               else 1
-            end)
+            end))
   in
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".scn file.")
@@ -666,6 +692,18 @@ let workload_run_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~doc:"Write the per-variant JSON report here.")
   in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ]
+          ~doc:"Conservative-parallel shard count for scenarios with a \
+                topology block (overrides the block's own count; 1 runs the \
+                whole cloud on one engine, byte-identically). Scenarios \
+                without a topology block, and attack scenarios, always run \
+                unsharded; the per-variant $(b,-j) pool composes with this \
+                (each variant's cloud uses its own shard gang).")
+  in
   let smoke =
     Arg.(
       value & flag
@@ -676,7 +714,7 @@ let workload_run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and run a .scn scenario")
-    Term.(const run $ file $ seconds $ jobs_arg $ output $ smoke)
+    Term.(const run $ file $ seconds $ jobs_arg $ shards $ output $ smoke)
 
 let workload_cmd =
   Cmd.group

@@ -1,92 +1,274 @@
 module Time = Sw_sim.Time
 module Engine = Sw_sim.Engine
+module Conductor = Sw_sim.Conductor
 module Address = Sw_net.Address
 
 type deployment = {
   vm : int;
+  shard : int;
   group : Sw_vmm.Replica_group.t;
   instances : (int * Sw_vmm.Vmm.instance) list;  (** (machine id, instance) *)
   watchdog : Sw_vmm.Watchdog.t option;
 }
 
+(* One shard: an engine with its own registry, the network fabric for the
+   shard's machines, and the shard's edge nodes. A single-shard cloud is
+   one of these, built exactly as the pre-shard code did. *)
+type shard_ctx = {
+  sh_engine : Engine.t;
+  sh_network : Sw_net.Network.t;
+  sh_ingress : Sw_net.Ingress.t;
+  sh_egress : Sw_net.Egress.t;
+}
+
 type t = {
-  engine : Engine.t;
-  network : Sw_net.Network.t;
+  seed : int64;
   config : Sw_vmm.Config.t;
+  shards : shard_ctx array;
+  parallel : bool;
+  block : int array;  (* machine id -> owning shard *)
   machines : Sw_vmm.Machine.t array;
   vmms : Sw_vmm.Vmm.t array;
-  ingress : Sw_net.Ingress.t;
-  egress : Sw_net.Egress.t;
-  rng : Sw_sim.Prng.t;
+  rng : Sw_sim.Prng.t;  (* single-shard background stream (legacy split) *)
+  vm_shard : (int, int) Hashtbl.t;
+  host_shard : (int, int) Hashtbl.t;
+  mutable conductor : Conductor.t option;  (* built lazily at first run *)
   mutable next_vm : int;
   mutable next_host : int;
   mutable deployments : deployment list;
   mutable trace : Sw_obs.Trace.t option;
 }
 
+let sharded t = Array.length t.shards > 1
+
+(* Contiguous machine blocks, sizes as even as possible, low shards first. *)
+let partition ~machines ~shards =
+  let base = machines / shards and rem = machines mod shards in
+  let block = Array.make machines 0 in
+  let m = ref 0 in
+  for s = 0 to shards - 1 do
+    let size = base + if s < rem then 1 else 0 in
+    for _ = 1 to size do
+      block.(!m) <- s;
+      incr m
+    done
+  done;
+  block
+
+(* Domain-per-shard only pays off with a core per shard; on a single-core
+   host the workers just time-slice through the barrier, so default to the
+   sequential windowed driver there. Byte-identical either way. *)
+let default_parallel = lazy (Domain.recommended_domain_count () > 1)
+
 let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
     ?(default_link = Sw_net.Network.lan) ?(rate_spread = 0.)
-    ?(clock_spread = Time.zero) ?profile ~machines () =
+    ?(clock_spread = Time.zero) ?profile ?(shards = 1) ?parallel ~machines () =
+  let parallel =
+    match parallel with Some p -> p | None -> Lazy.force default_parallel
+  in
   if machines < 1 then invalid_arg "Cloud.create: need at least one machine";
+  if shards < 1 then invalid_arg "Cloud.create: need at least one shard";
   if rate_spread < 0. || rate_spread >= 1. then
     invalid_arg "Cloud.create: rate_spread must be in [0, 1)";
   Sw_vmm.Config.validate config;
-  let metrics = Sw_obs.Registry.create () in
-  let engine = Engine.create ~seed ~metrics ?profile () in
-  let hw_rng = Engine.rng engine in
-  let network = Sw_net.Network.create engine ~default:default_link in
-  let machine_arr =
-    Array.init machines (fun id ->
-        let rate_multiplier =
-          if rate_spread = 0. then 1.0
-          else Sw_sim.Prng.uniform hw_rng ~lo:(1. -. rate_spread) ~hi:(1. +. rate_spread)
+  let shards = Stdlib.min shards machines in
+  if shards = 1 then begin
+    (* Single shard: the historical construction, component for component
+       and PRNG split for split, so existing seeds reproduce byte for
+       byte. *)
+    let metrics = Sw_obs.Registry.create () in
+    let engine = Engine.create ~seed ~metrics ?profile () in
+    let hw_rng = Engine.rng engine in
+    let network = Sw_net.Network.create engine ~default:default_link in
+    let machine_arr =
+      Array.init machines (fun id ->
+          let rate_multiplier =
+            if rate_spread = 0. then 1.0
+            else
+              Sw_sim.Prng.uniform hw_rng ~lo:(1. -. rate_spread)
+                ~hi:(1. +. rate_spread)
+          in
+          let clock_offset =
+            if Time.equal clock_spread Time.zero then Time.zero
+            else begin
+              let bound = Int64.to_int clock_spread in
+              Time.ns (Sw_sim.Prng.int hw_rng ((2 * bound) + 1) - bound)
+            end
+          in
+          Sw_vmm.Machine.create engine network ~id ~config ~rate_multiplier
+            ~clock_offset ())
+    in
+    let vmms = Array.map Sw_vmm.Vmm.create machine_arr in
+    let shard =
+      {
+        sh_engine = engine;
+        sh_network = network;
+        sh_ingress = Sw_net.Ingress.create network;
+        sh_egress =
+          Sw_net.Egress.create
+            ?vote_expiry:config.Sw_vmm.Config.egress_vote_expiry network;
+      }
+    in
+    {
+      seed;
+      config;
+      shards = [| shard |];
+      parallel;
+      block = Array.make machines 0;
+      machines = machine_arr;
+      vmms;
+      rng = Engine.rng engine;
+      vm_shard = Hashtbl.create 16;
+      host_shard = Hashtbl.create 16;
+      conductor = None;
+      next_vm = 0;
+      next_host = 0;
+      deployments = [];
+      trace = None;
+    }
+  end
+  else begin
+    (* Sharded: per-shard engines/registries/fabrics/edges, and every
+       stochastic stream key-derived so that no draw order depends on the
+       partition. Hardware spreads draw from one cloud-level keyed stream
+       in machine-id order. *)
+    let block = partition ~machines ~shards in
+    let shard_arr =
+      Array.init shards (fun i ->
+          let metrics = Sw_obs.Registry.create () in
+          let engine =
+            Engine.create
+              ~seed:(Sw_sim.Prng.mix (Sw_sim.Prng.mix seed 0x5A4DL) (Int64.of_int i))
+              ~metrics
+              ?profile:(if i = 0 then profile else None)
+              ()
+          in
+          let network =
+            Sw_net.Network.create ~stream_seed:seed engine ~default:default_link
+          in
+          {
+            sh_engine = engine;
+            sh_network = network;
+            sh_ingress = Sw_net.Ingress.create network;
+            sh_egress =
+              Sw_net.Egress.create
+                ?vote_expiry:config.Sw_vmm.Config.egress_vote_expiry network;
+          })
+    in
+    let hw_rng = Sw_sim.Prng.derive ~seed [ 0x11A6L ] in
+    let machine_arr =
+      Array.init machines (fun id ->
+          let rate_multiplier =
+            if rate_spread = 0. then 1.0
+            else
+              Sw_sim.Prng.uniform hw_rng ~lo:(1. -. rate_spread)
+                ~hi:(1. +. rate_spread)
+          in
+          let clock_offset =
+            if Time.equal clock_spread Time.zero then Time.zero
+            else begin
+              let bound = Int64.to_int clock_spread in
+              Time.ns (Sw_sim.Prng.int hw_rng ((2 * bound) + 1) - bound)
+            end
+          in
+          let sh = shard_arr.(block.(id)) in
+          Sw_vmm.Machine.create sh.sh_engine sh.sh_network ~id ~config
+            ~rate_multiplier ~clock_offset ())
+    in
+    let vmms = Array.map Sw_vmm.Vmm.create machine_arr in
+    let t =
+      {
+        seed;
+        config;
+        shards = shard_arr;
+        parallel;
+        block;
+        machines = machine_arr;
+        vmms;
+        rng = Sw_sim.Prng.derive ~seed [ 0xB469L ];
+        vm_shard = Hashtbl.create 16;
+        host_shard = Hashtbl.create 16;
+        conductor = None;
+        next_vm = 0;
+        next_host = 0;
+        deployments = [];
+        trace = None;
+      }
+    in
+    (* Wire the cross-shard path: each network resolves a delivery target
+       to its owning shard; remote arrivals go through the conductor
+       mailbox and are injected on the owner's engine. The conductor is
+       built lazily (its lookahead depends on links installed after
+       creation), so the post hook late-binds through [t]. *)
+    Array.iteri
+      (fun self sh ->
+        let locate = function
+          | Address.Vmm m -> t.block.(m)
+          | Address.Vm v -> (
+              match Hashtbl.find_opt t.vm_shard v with
+              | Some s -> s
+              | None -> self)
+          | Address.Host h -> (
+              match Hashtbl.find_opt t.host_shard h with
+              | Some s -> s
+              | None -> self)
+          | Address.Ingress | Address.Egress | Address.Broadcast_addr -> self
         in
-        let clock_offset =
-          if Time.equal clock_spread Time.zero then Time.zero
-          else begin
-            let bound = Int64.to_int clock_spread in
-            Time.ns (Sw_sim.Prng.int hw_rng ((2 * bound) + 1) - bound)
-          end
-        in
-        Sw_vmm.Machine.create engine network ~id ~config ~rate_multiplier
-          ~clock_offset ())
-  in
-  let vmms = Array.map Sw_vmm.Vmm.create machine_arr in
-  {
-    engine;
-    network;
-    config;
-    machines = machine_arr;
-    vmms;
-    ingress = Sw_net.Ingress.create network;
-    egress =
-      Sw_net.Egress.create
-        ?vote_expiry:config.Sw_vmm.Config.egress_vote_expiry network;
-    rng = Engine.rng engine;
-    next_vm = 0;
-    next_host = 0;
-    deployments = [];
-    trace = None;
-  }
+        Sw_net.Network.set_remote sh.sh_network ~shard:self ~locate
+          ~post:(fun ~dst ~at ~target pkt ->
+            match t.conductor with
+            | Some c ->
+                Conductor.post c ~src:self ~dst ~at (fun () ->
+                    Sw_net.Network.inject t.shards.(dst).sh_network ~target pkt)
+            | None ->
+                invalid_arg
+                  "Cloud: cross-shard send outside Cloud.run (no conductor)"))
+      shard_arr;
+    t
+  end
+
+let shard_count t = Array.length t.shards
+let shard_of_machine t m = t.block.(m)
+let shard_registry t i = Engine.metrics t.shards.(i).sh_engine
+let shard_engine t i = t.shards.(i).sh_engine
+
+let cross_shard_exchanged t =
+  match t.conductor with Some c -> Conductor.exchanged c | None -> 0
+
+let total_fired t =
+  Array.fold_left (fun acc sh -> acc + Engine.fired sh.sh_engine) 0 t.shards
 
 (* One sink for the whole cloud: the edge nodes and every replica VMM —
    current and future deployments alike — emit into it, so lineage
    reconstruction sees the full ingress → proposal → median → delivery →
-   egress chain. *)
+   egress chain. Single-shard only: a trace sink is one mutable buffer and
+   per-shard domains would race on it. *)
 let attach_trace t tr =
+  if sharded t then
+    invalid_arg "Cloud.attach_trace: not supported on a sharded cloud";
   t.trace <- Some tr;
-  Sw_net.Ingress.set_trace t.ingress tr;
-  Sw_net.Egress.set_trace t.egress tr;
+  Sw_net.Ingress.set_trace t.shards.(0).sh_ingress tr;
+  Sw_net.Egress.set_trace t.shards.(0).sh_egress tr;
   List.iter
     (fun d -> List.iter (fun (_, i) -> Sw_vmm.Vmm.set_trace i tr) d.instances)
     t.deployments
 
 let trace t = t.trace
 
-let engine t = t.engine
-let network t = t.network
-let metrics t = Engine.metrics t.engine
-let metrics_snapshot t = Sw_obs.Registry.snapshot (Engine.metrics t.engine)
+let engine t = t.shards.(0).sh_engine
+let network t = t.shards.(0).sh_network
+let metrics t = Engine.metrics (engine t)
+
+let metrics_snapshot t =
+  match t.shards with
+  | [| sh |] -> Sw_obs.Registry.snapshot (Engine.metrics sh.sh_engine)
+  | shards ->
+      Sw_obs.Snapshot.merge_all
+        (Array.to_list
+           (Array.map
+              (fun sh -> Sw_obs.Registry.snapshot (Engine.metrics sh.sh_engine))
+              shards))
+
 let config t = t.config
 
 let machine t i =
@@ -95,13 +277,33 @@ let machine t i =
   t.machines.(i)
 
 let machine_count t = Array.length t.machines
-let ingress t = t.ingress
-let egress t = t.egress
+let ingress t = t.shards.(0).sh_ingress
+let egress t = t.shards.(0).sh_egress
 
 let fresh_vm_id t =
   let id = t.next_vm in
   t.next_vm <- id + 1;
   id
+
+(* The partition rule: a replica group, its multicast channel, and its edge
+   bookkeeping are one atom — every machine hosting a replica of the VM
+   must sit in the same shard, so all intra-group traffic (proposals,
+   epoch reports, ingress replication, egress voting) stays on one engine. *)
+let deployment_shard t ~on =
+  match on with
+  | [] -> 0
+  | m :: rest ->
+      let s = t.block.(m) in
+      List.iter
+        (fun m' ->
+          if t.block.(m') <> s then
+            invalid_arg
+              (Printf.sprintf
+                 "Cloud.deploy: machines %d and %d are in different shards \
+                  (%d vs %d); replica groups must not cross shards"
+                 m m' s t.block.(m')))
+        rest;
+      s
 
 let deploy ?config t ~on ~app =
   let config = match config with Some c -> c | None -> t.config in
@@ -113,15 +315,18 @@ let deploy ?config t ~on ~app =
   if List.length (List.sort_uniq Stdlib.compare on) <> List.length on then
     invalid_arg "Cloud.deploy: machines must be distinct";
   List.iter (fun m -> ignore (machine t m)) on;
+  let shard = deployment_shard t ~on in
+  let sh = t.shards.(shard) in
   let vm = fresh_vm_id t in
+  Hashtbl.replace t.vm_shard vm shard;
   let group =
-    Sw_vmm.Replica_group.create ~metrics:(Engine.metrics t.engine) ~vm ~config
-      ~mode:Sw_vmm.Replica_group.Stopwatch ()
+    Sw_vmm.Replica_group.create ~metrics:(Engine.metrics sh.sh_engine) ~vm
+      ~config ~mode:Sw_vmm.Replica_group.Stopwatch ()
   in
   (* The VM's PGM-style channel: the ingress replicates inbound packets over
      it, the VMMs exchange proposals and epoch reports on it. *)
   let channel =
-    Sw_net.Multicast.group t.network
+    Sw_net.Multicast.group sh.sh_network
       ~members:(Address.Ingress :: List.map (fun m -> Address.Vmm m) on)
       ~nak_delay:config.Sw_vmm.Config.mcast_nak_delay
       ~nak_retries:config.Sw_vmm.Config.mcast_nak_retries
@@ -144,15 +349,16 @@ let deploy ?config t ~on ~app =
         (m, Sw_vmm.Vmm.host ~channel ~start t.vmms.(m) ~group ~app ~peers))
       on
   in
-  Sw_net.Ingress.register_vm ~channel t.ingress ~vm
+  Sw_net.Ingress.register_vm ~channel sh.sh_ingress ~vm
     ~replica_vmms:(List.map (fun m -> Address.Vmm m) on);
-  Sw_net.Egress.register_vm t.egress ~vm ~replicas:config.Sw_vmm.Config.replicas;
+  Sw_net.Egress.register_vm sh.sh_egress ~vm
+    ~replicas:config.Sw_vmm.Config.replicas;
   (* Degradation keeps the edge nodes in step with the group: the egress
      releases at the majority of the current quorum (not of the original m),
      and a unicast ingress stops replicating toward ejected members. *)
   Sw_vmm.Replica_group.on_membership_change group (fun () ->
       let q = Sw_vmm.Replica_group.quorum group in
-      if q > 0 then Sw_net.Egress.set_replicas t.egress ~vm ~replicas:q;
+      if q > 0 then Sw_net.Egress.set_replicas sh.sh_egress ~vm ~replicas:q;
       let live_vmms =
         List.filter_map
           (fun (m, inst) ->
@@ -162,13 +368,13 @@ let deploy ?config t ~on ~app =
           instances
       in
       if live_vmms <> [] then
-        Sw_net.Ingress.set_replica_vmms t.ingress ~vm ~replica_vmms:live_vmms);
+        Sw_net.Ingress.set_replica_vmms sh.sh_ingress ~vm ~replica_vmms:live_vmms);
   let watchdog =
     match config.Sw_vmm.Config.watchdog with
     | None -> None
-    | Some _ -> Some (Sw_vmm.Watchdog.create t.engine group)
+    | Some _ -> Some (Sw_vmm.Watchdog.create sh.sh_engine group)
   in
-  let d = { vm; group; instances; watchdog } in
+  let d = { vm; shard; group; instances; watchdog } in
   (match t.trace with
   | Some tr -> List.iter (fun (_, i) -> Sw_vmm.Vmm.set_trace i tr) instances
   | None -> ());
@@ -180,15 +386,18 @@ let deploy_baseline ?config t ~on ~app =
   let config = { config with Sw_vmm.Config.replicas = 1 } in
   Sw_vmm.Config.validate config;
   ignore (machine t on);
+  let shard = t.block.(on) in
+  let sh = t.shards.(shard) in
   let vm = fresh_vm_id t in
+  Hashtbl.replace t.vm_shard vm shard;
   let group =
-    Sw_vmm.Replica_group.create ~metrics:(Engine.metrics t.engine) ~vm ~config
-      ~mode:Sw_vmm.Replica_group.Baseline ()
+    Sw_vmm.Replica_group.create ~metrics:(Engine.metrics sh.sh_engine) ~vm
+      ~config ~mode:Sw_vmm.Replica_group.Baseline ()
   in
   let instance = Sw_vmm.Vmm.host t.vmms.(on) ~group ~app ~peers:[] in
   (* Baseline traffic routes straight to the hosting machine. *)
-  Sw_net.Network.set_route t.network ~dst:(Address.Vm vm) ~via:(Address.Vmm on);
-  let d = { vm; group; instances = [ (on, instance) ]; watchdog = None } in
+  Sw_net.Network.set_route sh.sh_network ~dst:(Address.Vm vm) ~via:(Address.Vmm on);
+  let d = { vm; shard; group; instances = [ (on, instance) ]; watchdog = None } in
   (match t.trace with
   | Some tr -> Sw_vmm.Vmm.set_trace instance tr
   | None -> ());
@@ -207,6 +416,7 @@ let deploy_plan t ~plan ~app =
 
 let vm_id d = d.vm
 let vm_address d = Address.Vm d.vm
+let shard_of d = d.shard
 let replicas d = List.map snd d.instances
 
 let replica_on d ~machine =
@@ -217,33 +427,77 @@ let watchdog d = d.watchdog
 let divergences d = Sw_vmm.Replica_group.divergences d.group
 let skew_blocks d = Sw_vmm.Replica_group.skew_blocks d.group
 
-let add_host t ?link () =
+let add_host t ?(link = Sw_net.Network.wan) ?(shard = 0) () =
+  if shard < 0 || shard >= Array.length t.shards then
+    invalid_arg "Cloud.add_host: shard out of range";
   let id = t.next_host in
   t.next_host <- id + 1;
-  Host.create t.network ~id ?link ()
+  Hashtbl.replace t.host_shard id shard;
+  let host = Host.create t.shards.(shard).sh_network ~id ~link () in
+  (* Every shard must see the host's access-link override: cross-shard
+     sends compute the arrival on the *sender's* network, and a remote
+     sender falling back to the fabric default would give the same packet
+     a different latency than a local one. *)
+  Array.iteri
+    (fun i sh ->
+      if i <> shard then
+        Sw_net.Network.set_node_link sh.sh_network (Address.Host id) link)
+    t.shards;
+  host
 
 let start_background t ~rate_per_s ?(size = 64) () =
   if rate_per_s <= 0. then invalid_arg "Cloud.start_background: rate must be positive";
+  (* Sharded clouds draw the arrival process from a keyed stream (the
+     single-shard [t.rng] split is construction-order dependent) and emit
+     from shard 0; packets to remote VMs take the cross-shard path. *)
+  let rng =
+    if sharded t then Sw_sim.Prng.derive ~seed:t.seed [ 0xB406L ] else t.rng
+  in
+  let sh = t.shards.(0) in
   let rec arrival () =
-    let gap = Sw_sim.Prng.exponential t.rng ~rate:rate_per_s in
+    let gap = Sw_sim.Prng.exponential rng ~rate:rate_per_s in
     ignore
-      (Engine.schedule_after t.engine (Time.of_float_s gap) (fun () ->
+      (Engine.schedule_after sh.sh_engine (Time.of_float_s gap) (fun () ->
            List.iter
              (fun d ->
                let pkt =
                  Sw_net.Packet.make ~src:Address.Broadcast_addr
                    ~dst:(Address.Vm d.vm) ~size
-                   ~seq:(Sw_net.Network.fresh_seq t.network)
-                   (Sw_net.Packet.Background (Sw_net.Network.fresh_seq t.network))
+                   ~seq:(Sw_net.Network.fresh_seq sh.sh_network)
+                   (Sw_net.Packet.Background (Sw_net.Network.fresh_seq sh.sh_network))
                in
-               Sw_net.Network.send t.network pkt)
+               Sw_net.Network.send sh.sh_network pkt)
              t.deployments;
            arrival ()))
   in
   arrival ()
 
-let run t ~until = Engine.run ~until t.engine
-let run_span t span = Engine.run ~until:(Time.add (Engine.now t.engine) span) t.engine
+(* Lookahead for the conservative windows: the smallest propagation latency
+   any link could impose on a cross-shard hop. Computed when the conductor
+   is first needed, so links installed after [create] (host access links,
+   overrides) are accounted for; links added later may only violate the
+   bound, which [Conductor.post] then reports. *)
+let conductor t =
+  match t.conductor with
+  | Some c -> c
+  | None ->
+      let lookahead =
+        Array.fold_left
+          (fun acc sh -> Time.min acc (Sw_net.Network.min_latency sh.sh_network))
+          Int64.max_int t.shards
+      in
+      let c =
+        Conductor.create ~parallel:t.parallel ~lookahead
+          (Array.map (fun sh -> sh.sh_engine) t.shards)
+      in
+      t.conductor <- Some c;
+      c
+
+let run t ~until =
+  if sharded t then Conductor.run (conductor t) ~until
+  else Engine.run ~until (engine t)
+
+let run_span t span = run t ~until:(Time.add (Engine.now (engine t)) span)
 
 (* --- Fault injection --------------------------------------------------- *)
 
@@ -285,13 +539,15 @@ let restart_replica t ~vm ~replica =
   | _ -> ()
 
 let install_faults ?trace t schedule =
+  if sharded t then
+    invalid_arg "Cloud.install_faults: not supported on a sharded cloud";
   (* Fault windows land in the cloud's attached trace unless the caller
      routes them elsewhere. *)
   let trace = match trace with Some _ -> trace | None -> t.trace in
   let env =
     {
-      Sw_fault.Injector.engine = t.engine;
-      network = t.network;
+      Sw_fault.Injector.engine = engine t;
+      network = network t;
       machine_of =
         (fun m ->
           if m >= 0 && m < Array.length t.machines then Some t.machines.(m)

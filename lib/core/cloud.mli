@@ -14,15 +14,32 @@ type t
 
 type deployment
 
-(** [create ?config ?seed ?default_link ?rate_spread ?clock_spread ~machines ()]
-    builds a cloud of [machines] physical machines, one ingress and one
-    egress node, over a fresh simulation engine. [rate_spread] gives each
-    machine a uniformly drawn execution-speed multiplier in
-    [1 ± rate_spread] (heterogeneous hardware; replicas then skew in real
-    time and the skew limiter becomes active); [clock_spread] draws each
-    machine's real-time-clock error uniformly from [± clock_spread]. Both
-    default to zero (identical machines). [profile] hands the engine a
-    wall-clock self-profiling instance (see {!Sw_sim.Engine.create}). *)
+(** [create ?config ?seed ?default_link ?rate_spread ?clock_spread ?shards
+    ~machines ()] builds a cloud of [machines] physical machines over
+    [shards] simulation shards (default [1], clamped to [machines]).
+
+    With one shard this is the historical construction — one engine, one
+    fabric, one ingress/egress pair — byte-identical to pre-shard builds.
+    With [shards >= 2] the machines are split into contiguous blocks, one
+    block per shard; each shard gets its own engine (and metric registry),
+    network fabric, and ingress/egress pair, and {!run} drives the shards
+    concurrently (one OCaml domain each; [parallel:false] runs the same
+    windowed protocol round-robin, byte-identical; the default picks the
+    round-robin driver when the host reports a single core, where a
+    domain gang could only time-slice) under conservative lookahead
+    synchronisation — see {!Sw_sim.Conductor}. Replica groups
+    must not cross shard blocks ({!deploy} enforces this), and per-link
+    PRNG streams are key-derived so results do not depend on the
+    partition; DESIGN.md "Sharded simulation" states the exact determinism
+    contract. {!attach_trace} and {!install_faults} are single-shard-only.
+
+    [rate_spread] gives each machine a uniformly drawn execution-speed
+    multiplier in [1 ± rate_spread] (heterogeneous hardware; replicas then
+    skew in real time and the skew limiter becomes active);
+    [clock_spread] draws each machine's real-time-clock error uniformly
+    from [± clock_spread]. Both default to zero (identical machines).
+    [profile] hands the (first shard's) engine a wall-clock self-profiling
+    instance (see {!Sw_sim.Engine.create}). *)
 val create :
   ?config:Sw_vmm.Config.t ->
   ?seed:int64 ->
@@ -30,9 +47,33 @@ val create :
   ?rate_spread:float ->
   ?clock_spread:Sw_sim.Time.t ->
   ?profile:Sw_obs.Profile.t ->
+  ?shards:int ->
+  ?parallel:bool ->
   machines:int ->
   unit ->
   t
+
+(** Number of shards (1 for a legacy single-engine cloud). *)
+val shard_count : t -> int
+
+(** The shard owning a machine id (always 0 when unsharded). *)
+val shard_of_machine : t -> int -> int
+
+(** Shard [i]'s metric registry. Components driven by shard [i]'s engine —
+    including {!Sw_workload.Flowgen} cells launched on hosts added with
+    [add_host ~shard:i] — must record here, never into another shard's
+    registry: registries are plain mutable cells and shards run on
+    separate domains. *)
+val shard_registry : t -> int -> Sw_obs.Registry.t
+
+(** Shard [i]'s engine. Own it only between {!run} calls. *)
+val shard_engine : t -> int -> Sw_sim.Engine.t
+
+(** Cross-shard packets exchanged at barriers so far (0 when unsharded). *)
+val cross_shard_exchanged : t -> int
+
+(** Events fired across all shard engines. *)
+val total_fired : t -> int
 
 (** [attach_trace t tr] makes [tr] the cloud-wide trace sink: the ingress
     and egress nodes and every replica VMM — of deployments both existing
@@ -97,8 +138,14 @@ val watchdog : deployment -> Sw_vmm.Watchdog.t option
 (** Synchrony violations recorded for this VM (paper footnote 4). *)
 val divergences : deployment -> int
 
-(** [add_host t ?link ()] creates an external host with a fresh id. *)
-val add_host : t -> ?link:Sw_net.Network.link_params -> unit -> Host.t
+(** The shard a deployment's replica group lives on (0 when unsharded). *)
+val shard_of : deployment -> int
+
+(** [add_host t ?link ?shard ()] creates an external host with a fresh id,
+    attached to [shard]'s fabric (default 0). Packets it sends to VMs or
+    hosts owned by other shards take the cross-shard path. *)
+val add_host :
+  t -> ?link:Sw_net.Network.link_params -> ?shard:int -> unit -> Host.t
 
 (** [start_background t ~rate_per_s ~size ()] emits ARP-like broadcast noise:
     Poisson arrivals addressed to every deployed VM (replicated through the

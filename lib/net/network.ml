@@ -17,6 +17,11 @@ let wan =
 
 type link_state = {
   params : link_params;
+  rng : Sw_sim.Prng.t;
+      (* Loss/jitter stream. Legacy mode: the network's shared generator
+         (draw order = global delivery order). Keyed mode (sharded runs):
+         a per-directed-pair stream derived from (seed, src, dst), whose
+         draw order depends only on that pair's own traffic. *)
   mutable busy_until : Time.t;
   mutable last_arrival : Time.t;
 }
@@ -45,9 +50,29 @@ module Addr_tbl = Hashtbl.Make (struct
   let hash = Address.hash
 end)
 
+(* Stable int64 identity for stream keying: variant tag in the low bits,
+   id above. Never hashed — collisions would silently correlate streams. *)
+let addr_key = function
+  | Address.Vm i -> Int64.of_int ((i lsl 3) lor 1)
+  | Address.Vmm i -> Int64.of_int ((i lsl 3) lor 2)
+  | Address.Host i -> Int64.of_int ((i lsl 3) lor 3)
+  | Address.Ingress -> 4L
+  | Address.Egress -> 5L
+  | Address.Broadcast_addr -> 6L
+
+type remote = {
+  locate : Address.t -> int;
+      (* Owning shard of a delivery target; targets this network answers
+         for (its own machines, its Ingress/Egress) map to [shard]. *)
+  shard : int;
+  post : dst:int -> at:Time.t -> target:Address.t -> Packet.t -> unit;
+}
+
 type t = {
   engine : Engine.t;
   default : link_params;
+  stream_seed : int64 option;  (* [Some s]: keyed per-link streams *)
+  mutable remote : remote option;
   rng : Sw_sim.Prng.t;
   handlers : (Packet.t -> unit) Addr_tbl.t;
   routes : Address.t Addr_tbl.t;
@@ -74,11 +99,13 @@ let pair_metric ~src ~dst =
   Printf.sprintf "net.link.%s.%s.delivered" (Address.to_string src)
     (Address.to_string dst)
 
-let create engine ~default =
+let create ?stream_seed engine ~default =
   let metrics = Engine.metrics engine in
   {
     engine;
     default;
+    stream_seed;
+    remote = None;
     rng = Engine.rng engine;
     handlers = Addr_tbl.create 64;
     routes = Addr_tbl.create 16;
@@ -140,7 +167,14 @@ let link_state t pair =
                 | Some p -> p
                 | None -> t.default))
       in
-      let s = { params; busy_until = Time.zero; last_arrival = Time.zero } in
+      let rng =
+        match t.stream_seed with
+        | None -> t.rng
+        | Some seed ->
+            let src, dst = pair in
+            Sw_sim.Prng.derive ~seed [ 0x1147L; addr_key src; addr_key dst ]
+      in
+      let s = { params; rng; busy_until = Time.zero; last_arrival = Time.zero } in
       Pair_tbl.add t.link_states pair s;
       s
 
@@ -152,15 +186,37 @@ let pair_counter t ((src, dst) as pair) =
       Pair_tbl.add t.counters pair c;
       c
 
+(* Hand a packet to its target's handler at the current instant, with the
+   delivery-side accounting. Local deliveries reach this inside their
+   "net.deliver" event; cross-shard packets reach it on the owning shard's
+   engine inside the "xshard" event the conductor injected at the arrival
+   instant the *sending* network computed. *)
+let inject t ~target (pkt : Packet.t) =
+  (* A cross-shard target arrives unresolved (the sender's shard has no
+     routes for remote addresses); apply this fabric's own routing — e.g.
+     [Vm v -> Ingress] — before the handler lookup, as [send] would. *)
+  let target =
+    match Addr_tbl.find_opt t.routes target with Some via -> via | None -> target
+  in
+  match Addr_tbl.find_opt t.handlers target with
+  | None -> Registry.Counter.incr t.m_undeliverable
+  | Some handler ->
+      Registry.Counter.incr t.m_delivered;
+      Registry.Counter.incr (pair_counter t (pkt.src, pkt.dst));
+      Sw_obs.Profile.time
+        (Engine.profile t.engine)
+        t.p_deliver
+        (fun () -> handler pkt)
+
 let deliver_via t ~target (pkt : Packet.t) =
   let state = link_state t (pkt.src, target) in
   let p = state.params in
   let dist = disturbance_for t target in
-  if p.loss > 0. && Sw_sim.Prng.float t.rng < p.loss then
+  if p.loss > 0. && Sw_sim.Prng.float state.rng < p.loss then
     Registry.Counter.incr t.m_lost
   else if
     match dist with
-    | Some d when d.extra_loss > 0. -> Sw_sim.Prng.float t.rng < d.extra_loss
+    | Some d when d.extra_loss > 0. -> Sw_sim.Prng.float state.rng < d.extra_loss
     | _ -> false
   then Registry.Counter.incr t.m_fault_lost
   else begin
@@ -176,7 +232,7 @@ let deliver_via t ~target (pkt : Packet.t) =
     state.busy_until <- depart;
     let jitter =
       if Time.equal p.jitter Time.zero then Time.zero
-      else Time.ns (Sw_sim.Prng.int t.rng (1 + Int64.to_int p.jitter))
+      else Time.ns (Sw_sim.Prng.int state.rng (1 + Int64.to_int p.jitter))
     in
     let extra_latency =
       match dist with Some d -> d.extra_latency | None -> Time.zero
@@ -188,18 +244,35 @@ let deliver_via t ~target (pkt : Packet.t) =
         (Time.add depart (Time.add p.latency (Time.add jitter extra_latency)))
     in
     state.last_arrival <- arrive;
-    match Addr_tbl.find_opt t.handlers target with
-    | None -> Registry.Counter.incr t.m_undeliverable
-    | Some handler ->
-        ignore
-          (Engine.schedule_at ~kind:"net.deliver" t.engine arrive (fun () ->
-               Registry.Counter.incr t.m_delivered;
-               Registry.Counter.incr (pair_counter t (pkt.src, pkt.dst));
-               Sw_obs.Profile.time
-                 (Engine.profile t.engine)
-                 t.p_deliver
-                 (fun () -> handler pkt)))
+    (* The sender owns the link end to end — queueing, loss, jitter, FIFO —
+       so a cross-shard hop changes only where the handler runs, never the
+       arrival instant. *)
+    match t.remote with
+    | Some r when r.locate target <> r.shard ->
+        r.post ~dst:(r.locate target) ~at:arrive ~target pkt
+    | _ -> (
+        match Addr_tbl.find_opt t.handlers target with
+        | None -> Registry.Counter.incr t.m_undeliverable
+        | Some handler ->
+            ignore
+              (Engine.schedule_at ~kind:"net.deliver" t.engine arrive (fun () ->
+                   Registry.Counter.incr t.m_delivered;
+                   Registry.Counter.incr (pair_counter t (pkt.src, pkt.dst));
+                   Sw_obs.Profile.time
+                     (Engine.profile t.engine)
+                     t.p_deliver
+                     (fun () -> handler pkt))))
   end
+
+let set_remote t ~shard ~locate ~post =
+  t.remote <- Some { shard; locate; post }
+
+let min_latency t =
+  let best = ref t.default.latency in
+  let consider p = if Time.(p.latency < !best) then best := p.latency in
+  Pair_tbl.iter (fun _ p -> consider p) t.link_overrides;
+  Addr_tbl.iter (fun _ p -> consider p) t.node_overrides;
+  !best
 
 let send t (pkt : Packet.t) =
   match pkt.dst with

@@ -20,7 +20,18 @@ val wan : link_params
 
 type t
 
-val create : Sw_sim.Engine.t -> default:link_params -> t
+(** [create ?stream_seed engine ~default] builds a fabric on [engine].
+
+    Without [stream_seed] (the legacy mode), loss and jitter draw from one
+    generator shared by every link, in global delivery order — fine for a
+    single engine, where that order is itself deterministic. With
+    [stream_seed] (sharded runs), each directed (src, dst) pair draws from
+    its own stream derived from [(stream_seed, src, dst)]
+    ({!Sw_sim.Prng.derive}): the draw order seen by any one link depends
+    only on that link's own traffic, so the draws are independent of how
+    machines are partitioned into shards. *)
+val create : ?stream_seed:int64 -> Sw_sim.Engine.t -> default:link_params -> t
+
 val engine : t -> Sw_sim.Engine.t
 
 (** Deterministic per-network sequence numbers for infrastructure senders.
@@ -74,6 +85,33 @@ val set_fault_to : t -> Address.t -> disturbance option -> unit
 (** Packets dropped by an injected disturbance ([net.fault.lost]), counted
     separately from organic link loss so experiments can tell them apart. *)
 val fault_lost : t -> int
+
+(** [set_remote t ~shard ~locate ~post] marks this network as shard
+    [shard] of a partitioned cloud. [locate a] names the shard owning
+    delivery target [a] (per-shard addresses — Ingress, Egress — must map
+    to [shard] on every network). When a delivery's effective target is
+    owned by another shard, the sending network still computes the arrival
+    instant exactly as for a local delivery — same link state, same FIFO,
+    same loss/jitter draws — and then hands [(dst shard, arrival, target,
+    packet)] to [post] (the conductor mailbox) instead of scheduling
+    locally. *)
+val set_remote :
+  t ->
+  shard:int ->
+  locate:(Address.t -> int) ->
+  post:(dst:int -> at:Sw_sim.Time.t -> target:Address.t -> Packet.t -> unit) ->
+  unit
+
+(** [inject t ~target pkt] delivers [pkt] to [target]'s handler at the
+    current instant, with delivery-side accounting ([net.delivered], the
+    pair counter) — the receiving half of a cross-shard hop, called inside
+    the conductor-injected event at the precomputed arrival time. Targets
+    without a handler count as undeliverable. *)
+val inject : t -> target:Address.t -> Packet.t -> unit
+
+(** Minimum propagation latency over the default and every installed
+    override — this network's contribution to a conductor's lookahead. *)
+val min_latency : t -> Sw_sim.Time.t
 
 (** [send t pkt] delivers [pkt] (unless lost) after the link delay. Packets
     to {!Address.Broadcast_addr} go to every registered handler except the

@@ -104,6 +104,7 @@ let merge a b =
   go a b
 
 let merge_all = List.fold_left merge empty
+let filter t ~f = List.filter (fun (name, _) -> f name) t
 
 let pp_data fmt = function
   | Counter v -> Format.fprintf fmt "%d" v

@@ -56,4 +56,12 @@ val histogram : t -> string -> histogram option
 val merge : t -> t -> t
 
 val merge_all : t list -> t
+
+(** [filter t ~f] keeps the metrics whose name satisfies [f]. Determinism
+    comparisons across shard layouts use this to drop [sim.*] — the
+    execution substrate's own bookkeeping (queue-depth watermarks,
+    per-kind scheduling-delay histograms), which legitimately depends on
+    how the one logical run is partitioned into engines. *)
+val filter : t -> f:(string -> bool) -> t
+
 val pp : Format.formatter -> t -> unit

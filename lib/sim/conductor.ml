@@ -1,0 +1,192 @@
+(* Conservative windowed coordination of per-shard engines. See the .mli
+   for the protocol and the determinism argument.
+
+   Synchronisation is one mutex + condvar phase barrier. The main domain
+   publishes (epoch, window end) and workers run their shard and report
+   back; outbox/inbox arrays are indexed so that each cell has exactly one
+   writer per phase, and every cross-phase handoff is ordered by the
+   barrier mutex, so there are no data races and — more importantly — no
+   scheduling-dependent orders anywhere. *)
+
+type msg = { at : Time.t; src : int; seq : int; fn : unit -> unit }
+
+(* The exchange total order: (arrival, source shard, source sequence).
+   Within one source, [seq] is post order; across sources the shard index
+   breaks ties at identical nanosecond instants deterministically. *)
+let compare_msg a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = compare a.src b.src in
+    if c <> 0 then c else compare a.seq b.seq
+
+type t = {
+  engines : Engine.t array;
+  lookahead : Time.t;
+  parallel : bool;
+  mutable now : Time.t;  (* start of the current window *)
+  mutable window_end : Time.t;
+  outbox : msg list array array;  (* outbox.(src).(dst), newest first *)
+  post_seq : int array;  (* per-source post counter, source-domain-local *)
+  inbox : msg list array;  (* per-destination, sorted, injected at window start *)
+  mutable exchanged : int;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable epoch : int;  (* bumped to release workers into a window *)
+  mutable quit : bool;
+  mutable arrived : int;  (* workers done with the current window *)
+  mutable failed : exn option;  (* first worker failure, re-raised by main *)
+}
+
+let create ?(parallel = true) ~lookahead engines =
+  let n = Array.length engines in
+  if n = 0 then invalid_arg "Conductor.create: no shards";
+  if n > 1 && Time.(lookahead <= Time.zero) then
+    invalid_arg "Conductor.create: lookahead must be positive";
+  {
+    engines;
+    lookahead;
+    parallel;
+    now = Time.zero;
+    window_end = Time.zero;
+    outbox = Array.init n (fun _ -> Array.make n []);
+    post_seq = Array.make n 0;
+    inbox = Array.make n [];
+    exchanged = 0;
+    m = Mutex.create ();
+    cv = Condition.create ();
+    epoch = 0;
+    quit = false;
+    arrived = 0;
+    failed = None;
+  }
+
+let shards t = Array.length t.engines
+let exchanged t = t.exchanged
+
+let post t ~src ~dst ~at fn =
+  if Time.(at < t.window_end) then
+    invalid_arg
+      (Format.asprintf
+         "Conductor.post: arrival %a is inside the current window (ends %a); \
+          lookahead violated"
+         Time.pp at Time.pp t.window_end);
+  let seq = t.post_seq.(src) in
+  t.post_seq.(src) <- seq + 1;
+  t.outbox.(src).(dst) <- { at; src; seq; fn } :: t.outbox.(src).(dst)
+
+(* Drive shard [i] through one window: inject the sorted inbox, then run
+   the engine to the window end (parking exactly there). *)
+let run_shard t i limit =
+  let eng = t.engines.(i) in
+  List.iter
+    (fun m -> ignore (Engine.schedule_at ~kind:"xshard" eng m.at m.fn))
+    t.inbox.(i);
+  t.inbox.(i) <- [];
+  Engine.run ~until:limit eng
+
+(* Move every outbox into its destination inbox, sorted by the exchange
+   order. Runs on the main domain while workers are parked at the barrier. *)
+let exchange t =
+  let n = Array.length t.engines in
+  for d = 0 to n - 1 do
+    let msgs = ref [] in
+    for s = 0 to n - 1 do
+      msgs := List.rev_append t.outbox.(s).(d) !msgs;
+      t.outbox.(s).(d) <- []
+    done;
+    match !msgs with
+    | [] -> ()
+    | l ->
+        t.exchanged <- t.exchanged + List.length l;
+        t.inbox.(d) <- List.sort compare_msg l
+  done
+
+(* Worker for shard [i]: wait for an epoch bump, run the window (or quit),
+   report arrival. All fields read outside the mutex are written by the
+   main domain before the epoch bump and stable until every worker has
+   arrived, so the barrier's lock ordering covers them. [seen0] is the
+   epoch at spawn time, read by the *main* domain before spawning — a
+   worker sampling [t.epoch] itself could start after the first bump and
+   mistake it for already-seen, waiting forever on a window it owes. *)
+let worker t seen0 i =
+  let rec loop seen =
+    Mutex.lock t.m;
+    while t.epoch = seen && not t.quit do
+      Condition.wait t.cv t.m
+    done;
+    let quit = t.quit and epoch = t.epoch in
+    Mutex.unlock t.m;
+    if not quit then begin
+      (* A failure must still reach the barrier, or the main domain waits
+         forever; it is recorded and re-raised over there. *)
+      let failure =
+        match run_shard t i t.window_end with
+        | () -> None
+        | exception e -> Some e
+      in
+      Mutex.lock t.m;
+      (match (failure, t.failed) with
+      | Some e, None -> t.failed <- Some e
+      | _ -> ());
+      t.arrived <- t.arrived + 1;
+      if t.arrived = Array.length t.engines - 1 then Condition.broadcast t.cv;
+      Mutex.unlock t.m;
+      if Option.is_none failure then loop epoch
+    end
+  in
+  loop seen0
+
+let run_windows t ~until ~each =
+  while Time.(t.now < until) do
+    let limit = Time.min (Time.add t.now t.lookahead) until in
+    t.window_end <- limit;
+    each limit;
+    exchange t;
+    t.now <- limit
+  done
+
+let run t ~until =
+  let n = Array.length t.engines in
+  if n = 1 then begin
+    (* One shard: no windows, no barriers — exactly the legacy loop. *)
+    Engine.run ~until t.engines.(0);
+    t.now <- Time.max t.now until
+  end
+  else if not t.parallel then
+    run_windows t ~until ~each:(fun limit ->
+        for i = 0 to n - 1 do
+          run_shard t i limit
+        done)
+  else begin
+    let seen0 = t.epoch in
+    let domains =
+      Array.init (n - 1) (fun k -> Domain.spawn (fun () -> worker t seen0 (k + 1)))
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.quit <- true;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.m;
+        Array.iter Domain.join domains;
+        t.quit <- false;
+        t.failed <- None)
+      (fun () ->
+        run_windows t ~until ~each:(fun limit ->
+            Mutex.lock t.m;
+            t.arrived <- 0;
+            t.epoch <- t.epoch + 1;
+            Condition.broadcast t.cv;
+            Mutex.unlock t.m;
+            run_shard t 0 limit;
+            Mutex.lock t.m;
+            while t.arrived < n - 1 do
+              Condition.wait t.cv t.m
+            done;
+            let failed = t.failed in
+            Mutex.unlock t.m;
+            (* Raising here trips the [finally]: quit is published and the
+               surviving workers join before the exception escapes. *)
+            match failed with Some e -> raise e | None -> ()))
+  end

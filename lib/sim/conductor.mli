@@ -1,0 +1,54 @@
+(** Conservative parallel coordination of several {!Engine}s ("shards").
+
+    A conductor owns an array of engines, one per shard, and drives them in
+    lockstep lookahead windows: every shard runs freely (on its own domain
+    when [parallel]) up to the window end, then all shards synchronise at a
+    barrier and exchange the timestamped cross-shard messages posted during
+    the window. The lookahead is the minimum latency of any link that can
+    carry traffic between shards, so a message posted inside window [W]
+    always arrives at or after the start of window [W+1] — no shard can
+    receive an event in its past, which is the whole conservative-PDES
+    argument.
+
+    {b Determinism.} Shard execution within a window touches no state
+    shared with other shards; the only inter-shard channel is {!post}. At
+    each barrier the conductor sorts every destination's inbox by
+    [(arrival, source shard, source sequence)] — a total order — and
+    injects in that order at the start of the next window, so the
+    destination engine's own [(time, seq)] tiebreak reproduces exactly the
+    same firing order whatever the domain scheduling was, and the parallel
+    and sequential drivers produce byte-identical simulations.
+
+    {b Domain ownership.} During a window, shard [i]'s engine (and
+    everything hanging off it) is owned by the domain driving shard [i];
+    [post] may only be called from that domain with [~src:i]. Between
+    windows (and outside {!run}) everything is owned by the caller. The
+    worker gang is spawned at the start of each {!run} and joined before it
+    returns, so a conductor holds no threads while idle. *)
+
+type t
+
+(** [create ?parallel ~lookahead engines] builds a conductor over the
+    shards [engines]. [lookahead] (a span) must be positive when there is
+    more than one shard. [parallel] (default [true]) selects the
+    domain-per-shard driver; [false] runs the same windowed protocol
+    round-robin on the calling domain — useful for differential tests,
+    byte-identical by construction. *)
+val create : ?parallel:bool -> lookahead:Time.t -> Engine.t array -> t
+
+val shards : t -> int
+
+(** Cross-shard messages exchanged so far (across all barriers). *)
+val exchanged : t -> int
+
+(** [post t ~src ~dst ~at fn] queues [fn] for injection into shard [dst]'s
+    engine at absolute time [at] (scheduled there under kind ["xshard"]).
+    Must be called from shard [src]'s domain, during a window. Raises
+    [Invalid_argument] when [at] precedes the end of the current window —
+    that would violate the lookahead contract. *)
+val post : t -> src:int -> dst:int -> at:Time.t -> (unit -> unit) -> unit
+
+(** [run t ~until] advances every shard to exactly [until] (each engine
+    parks there, as {!Engine.run}), window by window. May be called
+    repeatedly; windows resume where the previous call stopped. *)
+val run : t -> until:Time.t -> unit

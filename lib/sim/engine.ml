@@ -129,8 +129,10 @@ let run ?until t =
       go ();
       (* Bounded runs always land exactly on the limit, including when the
          queue drained early: simulated time still passes. The clock never
-         rewinds. *)
-      if Time.(limit > t.now) then t.now <- limit
+         rewinds. Snapping the drained wheel's horizon to the parked clock
+         keeps post-barrier scheduling on the O(1) wheel path. *)
+      if Time.(limit > t.now) then t.now <- limit;
+      Wheel.advance t.wheel t.now
 
 let pending t = t.live
 let fired t = Sw_obs.Registry.Counter.value t.m_fired

@@ -16,6 +16,13 @@ let next_int64 t =
 let split t = { state = next_int64 t }
 let copy t = { state = t.state }
 
+(* Key derivation: fold each key into the state through one SplitMix64
+   round. Unlike [split] this consumes no draws from any shared stream, so
+   derived streams depend only on the (seed, keys) pair — never on the
+   order in which other components were constructed. *)
+let mix seed key = mix64 (Int64.add (Int64.logxor seed key) golden_gamma)
+let derive ~seed keys = { state = List.fold_left mix seed keys }
+
 (* Take the top 53 bits for a uniform double in [0, 1). *)
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -25,6 +25,17 @@ val split : t -> t
 (** [copy t] duplicates the generator's current state. *)
 val copy : t -> t
 
+(** [mix seed key] folds [key] into [seed] through one SplitMix64 round.
+    Pure; used to build stream keys from structured identities. *)
+val mix : int64 -> int64 -> int64
+
+(** [derive ~seed keys] builds a generator whose state is a pure function
+    of [(seed, keys)]. Unlike {!split} it consumes nothing from a shared
+    stream, so the result is independent of construction order — the
+    discipline sharded simulations rely on for partition-independent
+    draws. *)
+val derive : seed:int64 -> int64 list -> t
+
 val next_int64 : t -> int64
 
 (** [float t] draws uniformly from [[0, 1)]. *)

@@ -380,6 +380,21 @@ let cancel t h =
   end
   else false
 
+let advance t now =
+  (* Only when fully drained: with events stored, jumping the cursor would
+     have to cascade them first, and refill already does that lazily. An
+     empty wheel's cursor, however, otherwise stays wherever the last pop
+     left it — a run loop that parks the clock far ahead (a shard waiting
+     at a barrier) would then file every new event relative to a stale
+     horizon and, past the top level's span, spill it into the overflow
+     heap. Snapping the horizon to the parked clock keeps barrier-window
+     scheduling on the O(1) wheel path. *)
+  if t.stored = 0 && t.ready_len = 0 then begin
+    let k = Int64.to_int now in
+    let h = (k lsr g0_bits) lsl g0_bits in
+    if h > t.horizon then t.horizon <- h
+  end
+
 let peek_key t =
   ensure_ready t;
   if t.ready_len = 0 then None

@@ -46,6 +46,18 @@ val add : t -> key:int64 -> (unit -> unit) -> handle
     reclaimed lazily as the tiers drain past them. *)
 val cancel : t -> handle -> bool
 
+(** [advance t now] snaps the drained horizon up to [now]'s granule when —
+    and only when — the wheel holds no records at all; otherwise a no-op.
+    The horizon never moves backwards. Run loops call this after parking
+    the clock at a limit with nothing left to fire, so that events
+    scheduled next (e.g. cross-shard injections after a barrier) are filed
+    relative to the parked instant instead of a stale cursor — without
+    this, a shard idling across many lookahead windows would eventually
+    push every fresh event past the top level's ~550 s span and into the
+    overflow heap. (time, seq) order is unaffected: the wheel is empty, so
+    there is nothing to reorder against. *)
+val advance : t -> int64 -> unit
+
 (** Key of the earliest pending (uncancelled) event, if any. *)
 val peek_key : t -> int64 option
 

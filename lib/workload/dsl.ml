@@ -21,6 +21,8 @@ type attack = {
 
 type attack_probe = { ping_rate_per_s : float }
 
+type topology = { hosts : int; shards : int; east_west_rate_per_s : float }
+
 type workload = {
   seed : int64;
   duration : Time.t;
@@ -38,6 +40,7 @@ type workload = {
   header_bytes : int;
   faults : Sw_fault.Schedule.t;
   attack : attack_probe option;
+  topology : topology option;
   load_multipliers : float list;
   trace : bool;
   profile : bool;
@@ -377,6 +380,16 @@ let workload_of_json path fields =
       opt fields path "attack" ~default:None (fun p v ->
           let af = as_obj p v in
           Some { ping_rate_per_s = opt af p "ping_rate_per_s" ~default:40. as_num });
+    topology =
+      opt fields path "topology" ~default:None (fun p v ->
+          let tf = as_obj p v in
+          Some
+            {
+              hosts = req tf p "hosts" as_int;
+              shards = opt tf p "shards" ~default:1 as_int;
+              east_west_rate_per_s =
+                opt tf p "east_west_rate_per_s" ~default:0. as_num;
+            });
     load_multipliers =
       opt fields path "load_multipliers" ~default:[ 1. ] (fun p v ->
           List.map (as_num p) (as_arr p v));
@@ -417,6 +430,18 @@ let workload_to_json (w : workload) =
         [
           ( "attack",
             Json.Object [ ("ping_rate_per_s", Number a.ping_rate_per_s) ] );
+        ])
+  @ (match w.topology with
+    | None -> []
+    | Some t ->
+        [
+          ( "topology",
+            Json.Object
+              [
+                ("hosts", Number (float_of_int t.hosts));
+                ("shards", Number (float_of_int t.shards));
+                ("east_west_rate_per_s", Number t.east_west_rate_per_s);
+              ] );
         ])
   @ [ ("trace", Json.Bool w.trace); ("profile", Json.Bool w.profile) ]
 
@@ -537,6 +562,42 @@ let attack_specs (a : attack) =
           colluder = v.colluder;
         } ))
     a.variants
+
+(* The shard partition rule, checked before any cloud is built: cells
+   (one replica group + its client hosts) are the partition atoms, and
+   Cloud.create's contiguous machine blocks align with cell boundaries
+   exactly when cells divide evenly into shards. *)
+let check_topology (w : workload) =
+  match w.topology with
+  | None -> Ok ()
+  | Some t ->
+      if not w.stopwatch then
+        Error "topology: requires stopwatch = true (baseline is single-machine)"
+      else if w.attack <> None then
+        Error "topology: attack probes are not supported on a datacenter run"
+      else if t.hosts < w.replicas then
+        Error
+          (Printf.sprintf "topology.hosts: %d hosts cannot place %d replicas"
+             t.hosts w.replicas)
+      else if t.hosts mod w.replicas <> 0 then
+        Error
+          (Printf.sprintf
+             "topology.hosts: %d is not a multiple of replicas (%d)" t.hosts
+             w.replicas)
+      else if t.shards < 1 then Error "topology.shards: must be >= 1"
+      else if t.hosts / w.replicas mod t.shards <> 0 then
+        Error
+          (Printf.sprintf
+             "topology.shards: %d cells (hosts/replicas) do not divide into \
+              %d shards; replica groups would cross shard blocks"
+             (t.hosts / w.replicas) t.shards)
+      else if t.east_west_rate_per_s < 0. then
+        Error "topology.east_west_rate_per_s: must be >= 0"
+      else if t.shards > 1 && w.faults <> [] then
+        Error "topology: fault schedules are not supported on a sharded run"
+      else if t.shards > 1 && w.trace then
+        Error "topology: tracing is not supported on a sharded run"
+      else Ok ()
 
 let scaled w m =
   let arrival =

@@ -43,6 +43,14 @@ type attack = {
     cache-asymmetry channel. *)
 type attack_probe = { ping_rate_per_s : float }
 
+(** Datacenter-scale topology: [hosts] machines carved into
+    [hosts/replicas] service cells (one replica group + one client host +
+    one east-west host each), simulated over [shards] conservative
+    shards ({!Stopwatch.Cloud.create}'s [?shards]). [east_west_rate_per_s]
+    adds a low-rate flow from every cell toward the next cell (mod the
+    cell count) — genuine cross-shard traffic when shards > 1. *)
+type topology = { hosts : int; shards : int; east_west_rate_per_s : float }
+
 type workload = {
   seed : int64;
   duration : Sw_sim.Time.t;
@@ -60,6 +68,7 @@ type workload = {
   header_bytes : int;
   faults : Sw_fault.Schedule.t;
   attack : attack_probe option;
+  topology : topology option;
   load_multipliers : float list;
   trace : bool;
   profile : bool;
@@ -87,6 +96,12 @@ val load_file : string -> (t, string) result
 (** Compile an attack scenario family into runner-keyed specs, in variant
     order. *)
 val attack_specs : attack -> (string * Sw_attack.Scenario.spec) list
+
+(** Validates the topology block against the partition rule (hosts a
+    multiple of replicas; cells dividing evenly into shards; no faults,
+    trace, or attack probe on a sharded run). [Ok ()] when there is no
+    topology block. *)
+val check_topology : workload -> (unit, string) result
 
 (** [scaled w m] multiplies every arrival rate by [m]. *)
 val scaled : workload -> float -> workload

@@ -44,6 +44,7 @@ type slot = {
 }
 
 type meters = {
+  prefix : string;
   c_issued : Registry.Counter.t;
   c_completed : Registry.Counter.t;
   c_hits : Registry.Counter.t;
@@ -78,21 +79,23 @@ type t = {
   mutable misses : int;
 }
 
-let meters registry classes =
-  let c = Registry.counter registry and h = Registry.histogram registry in
+let meters registry ~prefix classes =
+  let c name = Registry.counter registry (prefix ^ name)
+  and h name = Registry.histogram registry (prefix ^ name) in
   {
-    c_issued = c "workload.issued";
-    c_completed = c "workload.completed";
-    c_hits = c "workload.hits";
-    c_misses = c "workload.misses";
-    c_conns = c "workload.conns_opened";
-    g_inflight = Registry.gauge registry "workload.inflight";
-    h_resp = h "workload.response_ns";
-    h_hit = h "workload.response_hit_ns";
-    h_miss = h "workload.response_miss_ns";
+    prefix;
+    c_issued = c ".issued";
+    c_completed = c ".completed";
+    c_hits = c ".hits";
+    c_misses = c ".misses";
+    c_conns = c ".conns_opened";
+    g_inflight = Registry.gauge registry (prefix ^ ".inflight");
+    h_resp = h ".response_ns";
+    h_hit = h ".response_hit_ns";
+    h_miss = h ".response_miss_ns";
     h_cls =
       Array.map
-        (fun cl -> h (Printf.sprintf "workload.cls.%s.response_ns" cl.name))
+        (fun cl -> h (Printf.sprintf ".cls.%s.response_ns" cl.name))
         classes;
     tier_hits = Hashtbl.create 4;
     registry;
@@ -103,7 +106,8 @@ let tier_counter m tier =
   | Some c -> c
   | None ->
       let c =
-        Registry.counter m.registry (Printf.sprintf "workload.hits.tier%d" tier)
+        Registry.counter m.registry
+          (Printf.sprintf "%s.hits.tier%d" m.prefix tier)
       in
       Hashtbl.replace m.tier_hits tier c;
       c
@@ -210,7 +214,7 @@ let rec schedule t =
           issue t;
           schedule t)
 
-let launch ~host ~dst ~registry ~rng config =
+let launch ?(prefix = "workload") ~host ~dst ~registry ~rng config =
   validate config;
   let classes = Array.of_list config.classes in
   let cum_weights =
@@ -242,7 +246,7 @@ let launch ~host ~dst ~registry ~rng config =
               backlog = Queue.create ();
             });
       inflight = Hashtbl.create 256;
-      m = meters registry classes;
+      m = meters registry ~prefix classes;
       next_seq = 0;
       issued = 0;
       completed = 0;

@@ -46,11 +46,16 @@ val validate : config -> unit
 
 type t
 
-(** [launch ~host ~dst ~registry ~rng config] attaches a TCP adapter to
-    [host], registers the [workload.*] instruments, and schedules the
-    first arrival; the run itself happens when the caller advances the
-    simulation. The engine owns [rng] from here on. *)
+(** [launch ?prefix ~host ~dst ~registry ~rng config] attaches a TCP
+    adapter to [host], registers the [<prefix>.*] instruments (default
+    prefix ["workload"]), and schedules the first arrival; the run itself
+    happens when the caller advances the simulation. The engine owns [rng]
+    from here on. Multi-cell runs give every cell its own prefix (e.g.
+    ["workload.cell3"]) so per-cell gauges and histograms keep distinct
+    names — a requirement for partition-independent snapshot merges, since
+    same-named gauges merge by max across shard registries. *)
 val launch :
+  ?prefix:string ->
   host:Stopwatch.Host.t ->
   dst:Sw_net.Address.t ->
   registry:Sw_obs.Registry.t ->

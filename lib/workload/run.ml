@@ -15,6 +15,8 @@ type result = {
   attacker_inter_delivery_ms : float array;
   trace : Sw_obs.Trace.t option;
   metrics : Snapshot.t;
+  fired : int;
+  cross_shard : int;
 }
 
 let quantile_ms snapshot name q =
@@ -40,7 +42,7 @@ let quantile_ms snapshot name q =
    drain before we snapshot. *)
 let drain = Time.ms 500
 
-let run (w : Dsl.workload) =
+let run_single (w : Dsl.workload) =
   let m = w.replicas in
   let config = { Sw_vmm.Config.default with Sw_vmm.Config.replicas = m } in
   let machines = if w.stopwatch then m else 1 in
@@ -136,4 +138,163 @@ let run (w : Dsl.workload) =
     attacker_inter_delivery_ms;
     trace;
     metrics;
+    fired = Cloud.total_fired cloud;
+    cross_shard = Cloud.cross_shard_exchanged cloud;
   }
+
+(* Datacenter-scale topology runs: [hosts] machines carved into
+   [hosts/replicas] independent service cells, each with its own replica
+   group, open-loop client, and (optionally) a low-rate east-west flow
+   toward the next cell — genuine cross-shard traffic under [shards > 1].
+
+   The scenario is configured so that the shard count cannot change any
+   result byte: links carry zero jitter and zero loss and disks zero
+   seek/rotation, so no event consults the legacy shared-stream generator
+   (the one whose draw order is partition-dependent); every client
+   generator is derived from [(seed, purpose, cell)] alone. The remaining
+   cross-shard reordering is between same-instant events of *different*
+   cells, which share no state. *)
+let run_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
+  let topo =
+    match shards with
+    | None -> topo
+    | Some s -> { topo with Dsl.shards = s }
+  in
+  let w = { w with Dsl.topology = Some topo } in
+  (match Dsl.check_topology w with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Run: " ^ e));
+  let r = w.replicas in
+  let cells = topo.Dsl.hosts / r in
+  let config =
+    {
+      Sw_vmm.Config.default with
+      Sw_vmm.Config.replicas = r;
+      disk =
+        {
+          Sw_disk.Disk.default_params with
+          Sw_disk.Disk.max_seek = Time.zero;
+          max_rotation = Time.zero;
+        };
+    }
+  in
+  (* Fleet-wide fabric hop: every access link in the datacenter crosses the
+     aggregation layer, so it carries the same 500 us propagation delay as
+     the client links below. Zero jitter keeps the scenario draw-free (the
+     determinism contract), and the uniform 500 us floor is also the
+     conservative lookahead the sharded conductor derives — windows wide
+     enough that per-shard compute dwarfs the barrier cost. *)
+  let default_link =
+    {
+      Sw_net.Network.lan with
+      Sw_net.Network.latency = Time.us 500;
+      jitter = Time.zero;
+    }
+  in
+  let client_link =
+    {
+      Sw_net.Network.latency = Time.us 500;
+      jitter = Time.zero;
+      bandwidth_bps = 0;
+      loss = 0.;
+    }
+  in
+  let cloud =
+    Cloud.create ~config ~seed:w.seed ~default_link ~machines:topo.Dsl.hosts
+      ~shards:topo.Dsl.shards ()
+  in
+  let kv_config =
+    {
+      Kv.cache = w.cache;
+      compute_branches = Int64.of_int w.compute_branches;
+      header_bytes = w.header_bytes;
+      tcp = None;
+    }
+  in
+  let services =
+    Array.init cells (fun c ->
+        Cloud.deploy cloud
+          ~on:(List.init r (fun i -> (c * r) + i))
+          ~app:(Kv.server kv_config))
+  in
+  let flow_config ~arrival =
+    {
+      Flowgen.arrival;
+      classes = w.classes;
+      keyspace = Keyspace.create ~keys:w.keys ~theta:w.theta;
+      pool = w.pool;
+      max_per_conn = w.max_per_conn;
+      request_bytes = w.request_bytes;
+      until = w.duration;
+    }
+  in
+  let flows = ref [] in
+  for c = 0 to cells - 1 do
+    let shard = Cloud.shard_of_machine cloud (c * r) in
+    let registry = Cloud.shard_registry cloud shard in
+    let client = Cloud.add_host cloud ~link:client_link ~shard () in
+    let own =
+      Flowgen.launch
+        ~prefix:(Printf.sprintf "workload.cell%d" c)
+        ~host:client
+        ~dst:(Cloud.vm_address services.(c))
+        ~registry
+        ~rng:(Prng.derive ~seed:w.seed [ 0x29L; Int64.of_int c ])
+        (flow_config ~arrival:w.arrival)
+    in
+    flows := own :: !flows;
+    if topo.Dsl.east_west_rate_per_s > 0. && cells > 1 then begin
+      (* A separate host per flow: each Flowgen owns its TCP adapter. *)
+      let ew_host = Cloud.add_host cloud ~link:client_link ~shard () in
+      let ew =
+        Flowgen.launch
+          ~prefix:(Printf.sprintf "workload.ew%d" c)
+          ~host:ew_host
+          ~dst:(Cloud.vm_address services.((c + 1) mod cells))
+          ~registry
+          ~rng:(Prng.derive ~seed:w.seed [ 0x2AL; Int64.of_int c ])
+          (flow_config
+             ~arrival:
+               (Arrival.Poisson { rate_per_s = topo.Dsl.east_west_rate_per_s }))
+      in
+      flows := ew :: !flows
+    end
+  done;
+  Cloud.run cloud ~until:(Time.add w.duration drain);
+  let metrics = Cloud.metrics_snapshot cloud in
+  (* Cell response times live under per-cell names; fold them into one
+     cloud-wide histogram for the headline quantiles. *)
+  let merged =
+    Snapshot.merge_all
+      (List.filter_map
+         (fun c ->
+           match
+             Snapshot.histogram metrics
+               (Printf.sprintf "workload.cell%d.response_ns" c)
+           with
+           | None -> None
+           | Some h ->
+               Some
+                 (Snapshot.of_list
+                    [ ("workload.response_ns", Snapshot.Histogram h) ]))
+         (List.init cells Fun.id))
+  in
+  let sum f = List.fold_left (fun acc fl -> acc + f fl) 0 !flows in
+  {
+    issued = sum Flowgen.issued;
+    completed = sum Flowgen.completed;
+    hits = sum Flowgen.hits;
+    misses = sum Flowgen.misses;
+    p50_ms = quantile_ms merged "workload.response_ns" 0.5;
+    p99_ms = quantile_ms merged "workload.response_ns" 0.99;
+    attacker_inter_delivery_ms = [||];
+    trace = None;
+    metrics;
+    fired = Cloud.total_fired cloud;
+    cross_shard = Cloud.cross_shard_exchanged cloud;
+  }
+
+let run ?shards (w : Dsl.workload) =
+  match w.topology with
+  | Some topo -> run_datacenter ?shards w topo
+  | None -> run_single w

@@ -24,6 +24,10 @@ type result = {
   trace : Sw_obs.Trace.t option;
       (** The cloud-wide trace sink, when the scenario asked for one. *)
   metrics : Sw_obs.Snapshot.t;
+  fired : int;
+      (** Engine events fired across all shards — the numerator of the
+          events/s throughput the shard-scale bench reports. *)
+  cross_shard : int;  (** Messages exchanged at shard barriers; 0 unsharded. *)
 }
 
 (** [quantile_ms snapshot name q] reads the [q]-quantile (in ms) of a
@@ -32,4 +36,15 @@ type result = {
     when the histogram is absent or empty. *)
 val quantile_ms : Sw_obs.Snapshot.t -> string -> float -> float
 
-val run : Dsl.workload -> result
+(** Runs the scenario. Without a [topology] block this is the single-cell
+    path above. With one, the cloud is [topology.hosts] machines carved
+    into [hosts/replicas] service cells (each its own replica group, KV
+    server, client host, and optional east-west flow toward the next
+    cell), simulated over [topology.shards] conservative shards —
+    [?shards] overrides the block's count from the command line. The
+    scenario is zero-draw (no jitter, no loss, no disk seek) and every
+    generator is key-derived, so the result is byte-identical across
+    shard counts outside the [sim.*] metric namespace. Raises
+    [Invalid_argument] when {!Dsl.check_topology} rejects the (possibly
+    overridden) block. *)
+val run : ?shards:int -> Dsl.workload -> result

@@ -250,6 +250,49 @@ let test_engine_far_future () =
     "across tiers" [ "near"; "far0"; "far1" ] (List.rev !log);
   Alcotest.(check int64) "clock at far event" far (Engine.now e)
 
+let test_engine_span_boundary () =
+  (* The wheel files keys in [horizon, horizon + span); an event exactly AT
+     the boundary takes the overflow tier. Regression: the boundary pair
+     must still fire in (time, seq) order — including a same-instant pair
+     split across the tiers' re-injection. *)
+  let span = Int64.shift_left 1L 39 in
+  let e = Engine.create () in
+  let log = ref [] in
+  let at t tag = ignore (Engine.schedule_at e t (fun () -> log := tag :: !log)) in
+  at (Int64.sub span 1L) "in-span";
+  at span "boundary0";
+  at span "boundary1";
+  at (Int64.add span 1L) "beyond";
+  Engine.run e;
+  Alcotest.(check (list string))
+    "span-boundary order"
+    [ "in-span"; "boundary0"; "boundary1"; "beyond" ]
+    (List.rev !log);
+  Alcotest.(check int64) "clock" (Int64.add span 1L) (Engine.now e)
+
+let test_engine_park_advances_wheel () =
+  (* Shard barriers park an idle engine at every window end (run ~until on
+     an empty queue). The wheel horizon must follow the clock: an event
+     scheduled after a long idle park, within ~550 s of *now* but beyond
+     the original span, files and fires normally, and same-instant FIFO
+     still holds. *)
+  let e = Engine.create () in
+  (* Thousands of empty windows, as a conductor would drive them. *)
+  for i = 1 to 1000 do
+    Engine.run ~until:(Time.ms i) e
+  done;
+  Engine.run ~until:(Time.s 100) e;
+  Alcotest.(check int64) "parked" (Time.s 100) (Engine.now e);
+  let log = ref [] in
+  let at t tag = ignore (Engine.schedule_at e t (fun () -> log := tag :: !log)) in
+  (* 640 s is beyond the span as seen from 0, inside it as seen from 100 s. *)
+  at (Time.s 640) "a0";
+  at (Time.s 640) "a1";
+  at (Time.s 649) "b";
+  Engine.run e;
+  Alcotest.(check (list string)) "post-park order" [ "a0"; "a1"; "b" ] (List.rev !log);
+  Alcotest.(check int64) "clock" (Time.s 649) (Engine.now e)
+
 let test_engine_depth_gauge () =
   (* sim.queue.depth is a high-watermark over the live count, kept accurate
      through schedule, fire and cancel. *)
@@ -440,6 +483,107 @@ let test_trace_iter_fold_shim () =
     [ "one"; "two" ]
     (List.map (fun e -> e.Sw_sim.Trace.message) (Sw_sim.Trace.entries tr))
 
+(* --- Conductor ----------------------------------------------------------- *)
+
+module Conductor = Sw_sim.Conductor
+
+let test_conductor_validation () =
+  Alcotest.check_raises "no shards"
+    (Invalid_argument "Conductor.create: no shards") (fun () ->
+      ignore (Conductor.create ~lookahead:(Time.ms 1) [||]));
+  Alcotest.check_raises "zero lookahead"
+    (Invalid_argument "Conductor.create: lookahead must be positive")
+    (fun () ->
+      ignore
+        (Conductor.create ~lookahead:Time.zero
+           [| Engine.create (); Engine.create () |]));
+  (* A single shard never windows, so any lookahead is fine. *)
+  ignore (Conductor.create ~lookahead:Time.zero [| Engine.create () |])
+
+(* Messages from both shards landing at the same destination instant must
+   fire in (arrival, source shard, source sequence) order, regardless of
+   which shard ran its window first. *)
+let test_conductor_exchange_order () =
+  let engines = [| Engine.create (); Engine.create () |] in
+  let c = Conductor.create ~parallel:false ~lookahead:(Time.ms 1) engines in
+  let log = ref [] in
+  let post_from src tags =
+    ignore
+      (Engine.schedule_at engines.(src) (Time.us 500) (fun () ->
+           List.iter
+             (fun tag ->
+               Conductor.post c ~src ~dst:0 ~at:(Time.ms 2) (fun () ->
+                   log := tag :: !log))
+             tags))
+  in
+  (* Shard 1 posts before shard 0 in wall order (sequential driver runs
+     shard 0 first, but the sort must not care). *)
+  post_from 1 [ "b0"; "b1" ];
+  post_from 0 [ "a0"; "a1" ];
+  Conductor.run c ~until:(Time.ms 3);
+  Alcotest.(check (list string)) "exchange total order"
+    [ "a0"; "a1"; "b0"; "b1" ] (List.rev !log);
+  Alcotest.(check int) "exchanged" 4 (Conductor.exchanged c);
+  Alcotest.(check int64) "clock" (Time.ms 3) (Engine.now engines.(0))
+
+let test_conductor_post_lookahead_violation () =
+  let engines = [| Engine.create (); Engine.create () |] in
+  let c = Conductor.create ~parallel:false ~lookahead:(Time.ms 1) engines in
+  let violated = ref false in
+  ignore
+    (Engine.schedule_at engines.(0) (Time.us 100) (fun () ->
+         match Conductor.post c ~src:0 ~dst:1 ~at:(Time.us 500) ignore with
+         | () -> ()
+         | exception Invalid_argument _ -> violated := true));
+  Conductor.run c ~until:(Time.ms 1);
+  Alcotest.(check bool) "post inside the window rejected" true !violated
+
+(* The heart of the determinism contract: a web of cross-shard traffic run
+   by the domain-per-shard driver fires in exactly the order the sequential
+   round-robin driver produces. Event plans are drawn up front from a seed;
+   handlers touch only their own shard's log cell, so the parallel run is
+   race-free and any divergence is a protocol bug, not a test artifact. *)
+let test_conductor_parallel_matches_sequential () =
+  let n = 4 in
+  let lookahead = Time.ms 1 in
+  let horizon = Time.ms 40 in
+  let build ~parallel =
+    let engines = Array.init n (fun _ -> Engine.create ()) in
+    let c = Conductor.create ~parallel ~lookahead engines in
+    let logs = Array.make n [] in
+    let rng = Prng.create 0xC0D0C7L in
+    for src = 0 to n - 1 do
+      for k = 0 to 39 do
+        let at = Time.us (10 + Prng.int rng 39_000) in
+        let tag = Printf.sprintf "s%de%d" src k in
+        ignore
+          (Engine.schedule_at engines.(src) at (fun () ->
+               logs.(src) <- (Engine.now engines.(src), tag) :: logs.(src);
+               if k mod 2 = 0 then begin
+                 let dst = (src + 1 + (k mod (n - 1))) mod n in
+                 let arrival = Time.add (Engine.now engines.(src)) lookahead in
+                 Conductor.post c ~src ~dst ~at:arrival (fun () ->
+                     logs.(dst) <-
+                       (Engine.now engines.(dst), tag ^ "x") :: logs.(dst))
+               end))
+      done
+    done;
+    Conductor.run c ~until:horizon;
+    let fired = Array.map Engine.fired engines in
+    (logs, Conductor.exchanged c, fired, Array.map Engine.now engines)
+  in
+  let logs_p, exch_p, fired_p, now_p = build ~parallel:true in
+  let logs_s, exch_s, fired_s, now_s = build ~parallel:false in
+  Alcotest.(check int) "messages exchanged" exch_s exch_p;
+  Alcotest.(check bool) "some cross-shard traffic" true (exch_s > 0);
+  Alcotest.(check (array int)) "events fired per shard" fired_s fired_p;
+  Alcotest.(check (array int64)) "clocks parked" now_s now_p;
+  for i = 0 to n - 1 do
+    Alcotest.(check (list (pair int64 string)))
+      (Printf.sprintf "shard %d firing order" i)
+      logs_s.(i) logs_p.(i)
+  done
+
 let () =
   Alcotest.run "sw_sim"
     [
@@ -478,6 +622,10 @@ let () =
             test_engine_late_cancel_after_fire;
           Alcotest.test_case "far-future overflow tier" `Quick
             test_engine_far_future;
+          Alcotest.test_case "span boundary across tiers" `Quick
+            test_engine_span_boundary;
+          Alcotest.test_case "park advances wheel horizon" `Quick
+            test_engine_park_advances_wheel;
           Alcotest.test_case "queue depth gauge" `Quick test_engine_depth_gauge;
           QCheck_alcotest.to_alcotest prop_engine_matches_model;
         ] );
@@ -487,6 +635,17 @@ let () =
           QCheck_alcotest.to_alcotest prop_summary_merge;
           Alcotest.test_case "samples percentiles" `Quick test_samples_percentiles;
           Alcotest.test_case "samples histogram" `Quick test_samples_histogram;
+        ] );
+      ( "conductor",
+        [
+          Alcotest.test_case "creation validation" `Quick
+            test_conductor_validation;
+          Alcotest.test_case "exchange total order" `Quick
+            test_conductor_exchange_order;
+          Alcotest.test_case "post inside window rejected" `Quick
+            test_conductor_post_lookahead_violation;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_conductor_parallel_matches_sequential;
         ] );
       ( "trace",
         [

@@ -325,6 +325,74 @@ let test_j1_j4_bytes () =
     "-j1 and -j4 merge to identical bytes" (merged_bytes ~workers:1)
     (merged_bytes ~workers:4)
 
+(* --- sharded determinism -------------------------------------------------- *)
+
+(* The determinism contract excludes the engines' own bookkeeping ([sim.*]
+   event counts split differently across shards); everything else must be
+   byte-identical. *)
+let contract_bytes metrics =
+  Export.to_json_string
+    (Snapshot.filter metrics ~f:(fun name ->
+         not (String.length name >= 4 && String.sub name 0 4 = "sim.")))
+
+let datacenter_workload () =
+  let w = small_workload () in
+  {
+    w with
+    Dsl.duration = Time.ms 400;
+    load_multipliers = [ 1. ];
+    topology =
+      Some { Dsl.hosts = 12; shards = 1; east_west_rate_per_s = 40. };
+  }
+
+let test_shards_1_vs_4_bytes () =
+  let w = datacenter_workload () in
+  let run shards =
+    let r = Run.run ~shards w in
+    Alcotest.(check bool) "served traffic" true (r.Run.completed > 0);
+    (r, contract_bytes r.Run.metrics)
+  in
+  let r1, b1 = run 1 and r4, b4 = run 4 in
+  Alcotest.(check int) "issued" r1.Run.issued r4.Run.issued;
+  Alcotest.(check int) "completed" r1.Run.completed r4.Run.completed;
+  Alcotest.(check (float 0.)) "p50" r1.Run.p50_ms r4.Run.p50_ms;
+  Alcotest.(check (float 0.)) "p99" r1.Run.p99_ms r4.Run.p99_ms;
+  Alcotest.(check string) "shards=1 and shards=4 metrics bytes" b1 b4
+
+(* Without a topology block the legacy single-cell path runs and [?shards]
+   must be a pure no-op: a fig9-style slice is byte-identical — including
+   the [sim.*] namespace, since the construction is the same single
+   engine. *)
+let test_shards_noop_without_topology () =
+  let w = { (small_workload ()) with Dsl.load_multipliers = [ 1. ] } in
+  let r1 = Run.run w and r4 = Run.run ~shards:4 w in
+  Alcotest.(check bool) "served traffic" true (r1.Run.completed > 0);
+  Alcotest.(check int) "cross-shard traffic" 0 r4.Run.cross_shard;
+  Alcotest.(check string) "full metrics bytes (sim.* included)"
+    (Export.to_json_string r1.Run.metrics)
+    (Export.to_json_string r4.Run.metrics)
+
+let test_topology_rejects () =
+  let w = datacenter_workload () in
+  let bad topology = { w with Dsl.topology = Some topology } in
+  let rejected w =
+    match Dsl.check_topology w with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "hosts not a replica multiple" true
+    (rejected (bad { Dsl.hosts = 13; shards = 1; east_west_rate_per_s = 40. }));
+  Alcotest.(check bool) "cells not divisible into shards" true
+    (rejected (bad { Dsl.hosts = 12; shards = 3; east_west_rate_per_s = 40. }));
+  Alcotest.(check bool) "faults excluded on sharded runs" true
+    (rejected
+       {
+         (bad { Dsl.hosts = 12; shards = 2; east_west_rate_per_s = 40. }) with
+         Dsl.faults =
+           [
+             Sw_fault.Schedule.at (Time.ms 1)
+               (Sw_fault.Fault.Machine_stall { machine = 0 });
+           ];
+       })
+
 let () =
   Alcotest.run "sw_workload"
     [
@@ -361,5 +429,10 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "workload merge -j1 = -j4" `Slow test_j1_j4_bytes;
+          Alcotest.test_case "datacenter shards=1 = shards=4" `Slow
+            test_shards_1_vs_4_bytes;
+          Alcotest.test_case "?shards is a no-op without topology" `Slow
+            test_shards_noop_without_topology;
+          Alcotest.test_case "topology validation" `Quick test_topology_rejects;
         ] );
     ]
