@@ -1,0 +1,93 @@
+(* Checkpoint/restore cost canary: capture and restore a mid-flight
+   scenario at a few sizes, report image bytes and wall time for each
+   phase, and assert the determinism contract the whole subsystem rests on
+   (the restored run finishes byte-identical to the uninterrupted one).
+
+   The numbers are wall-clock and machine-dependent; what the bench pins
+   is that a checkpoint stays (a) cheap relative to re-simulation and
+   (b) correct. *)
+
+module Time = Sw_sim.Time
+module Cloud = Stopwatch.Cloud
+module Dsl = Sw_workload.Dsl
+module Run = Sw_workload.Run
+module Export = Sw_obs.Export
+open Sw_experiments
+
+let scn_path file =
+  let exe_dir = Filename.dirname Sys.executable_name in
+  let candidates =
+    [
+      Filename.concat "examples" file;
+      Filename.concat "../examples" file;
+      Filename.concat "../../examples" file;
+      Filename.concat exe_dir (Filename.concat "../examples" file);
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "ckpt: cannot locate examples/%s" file)
+
+let workload duration_ms =
+  match Dsl.load_file (scn_path "kv_skew.scn") with
+  | Ok { Dsl.kind = Dsl.Workload w; _ } ->
+      { w with Dsl.duration = Time.ms duration_ms; load_multipliers = [ 1. ] }
+  | Ok _ -> failwith "kv_skew.scn: expected kind = \"workload\""
+  | Error e -> failwith e
+
+let bytes_of (r : Run.result) = Export.to_json_string r.Run.metrics
+
+let run () =
+  Tables.section "Checkpoint/restore: capture cost vs simulation state size";
+  Tables.header ~width:12
+    [ "sim ms"; "image KB"; "ckpt ms"; "restore ms"; "resume" ];
+  let rows =
+    List.map
+      (fun duration_ms ->
+        let w = workload duration_ms in
+        let straight =
+          let h = Run.prepare w in
+          Cloud.run h.Run.cloud ~until:h.Run.until;
+          bytes_of (h.Run.finish ())
+        in
+        let h = Run.prepare w in
+        Cloud.run h.Run.cloud ~until:(Time.scale h.Run.until 0.5);
+        let t0 = Sw_sim.Wall.now_s () in
+        let image = Cloud.checkpoint h.Run.cloud ~extra:h in
+        let ckpt_ms = 1000. *. Sw_sim.Wall.elapsed_s t0 in
+        let t1 = Sw_sim.Wall.now_s () in
+        let h' =
+          match Cloud.restore image with
+          | Ok (_, (h' : Run.handle)) -> h'
+          | Error e ->
+              failwith (Format.asprintf "%a" Cloud.pp_restore_error e)
+        in
+        let restore_ms = 1000. *. Sw_sim.Wall.elapsed_s t1 in
+        Cloud.run h'.Run.cloud ~until:h'.Run.until;
+        let resumed = bytes_of (h'.Run.finish ()) in
+        if resumed <> straight then
+          failwith
+            (Printf.sprintf
+               "ckpt: resumed %d ms run diverged from the straight one"
+               duration_ms);
+        let kb = float_of_int (String.length image) /. 1024. in
+        Tables.row ~width:12
+          [
+            string_of_int duration_ms; Tables.f1 kb; Tables.f2 ckpt_ms;
+            Tables.f2 restore_ms; "exact";
+          ];
+        (duration_ms, kb, ckpt_ms, restore_ms))
+      [ 250; 1000; 2000 ]
+  in
+  Bench_report.add "ckpt"
+    (Sw_runner.Report.Obj
+       (List.map
+          (fun (ms, kb, ckpt_ms, restore_ms) ->
+            ( Printf.sprintf "sim_%dms" ms,
+              Sw_runner.Report.Obj
+                [
+                  ("image_kb", Sw_runner.Report.Float kb);
+                  ("checkpoint_ms", Sw_runner.Report.Float ckpt_ms);
+                  ("restore_ms", Sw_runner.Report.Float restore_ms);
+                ] ))
+          rows))

@@ -4,8 +4,8 @@
 
    Usage: main.exe [-j N] [-quick] [--shards N] [experiment ...]
    where experiment is one of fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9
-   placement utilization theorems collusion ablation scale shard micro chaos
-   quick, or nothing / "all" for everything except chaos and quick. [-quick]
+   placement utilization theorems collusion ablation scale shard micro ckpt
+   chaos quick, or nothing / "all" for everything except chaos and quick. [-quick]
    shrinks the chaos, engine, fig9, and shard sweeps to their CI smoke forms.
 
    -j / --jobs N shards each experiment's independent simulations across N
@@ -35,6 +35,7 @@ let experiments =
     ("shard", fun ~pool:_ -> Bench_shard.run ());
     ("micro", fun ~pool:_ -> Bench_micro.run ());
     ("engine", fun ~pool:_ -> Bench_engine.run ());
+    ("ckpt", fun ~pool:_ -> Bench_ckpt.run ());
     ("chaos", fun ~pool -> Bench_chaos.run ?pool ());
     ("quick", fun ~pool -> Bench_quick.run ?pool ());
   ]

@@ -6,7 +6,9 @@
      stopwatch attack   -- timing-attack scenario (Fig. 4 / Sec. IX)
      stopwatch trace    -- record a traced run; export Perfetto/JSONL,
                            reconstruct causal lineage
-     stopwatch workload -- check/run declarative .scn scenarios (DSL)   *)
+     stopwatch workload -- check/run declarative .scn scenarios (DSL)
+     stopwatch soak     -- checkpointed, crash-resumable scenario run
+     stopwatch bisect   -- first divergence between two soak timelines  *)
 
 open Cmdliner
 
@@ -722,6 +724,179 @@ let workload_cmd =
        ~doc:"Declarative workload scenarios: check and run .scn files")
     [ workload_check_cmd; workload_run_cmd ]
 
+(* --- soak ----------------------------------------------------------------- *)
+
+(* Exit code of a --kill-after crash: distinctive, so harnesses (the
+   runner's resumable jobs, the @soak-smoke rule) can tell a simulated
+   crash from a real failure. *)
+let killed_exit = 70
+
+let soak_cmd =
+  let run file dir every_s seconds shards kill_after keep output quiet =
+    match load_scenario file with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+    | Ok { Dsl.kind = Dsl.Attack _; _ } ->
+        Printf.eprintf "error: %s: soak needs a workload scenario\n" file;
+        1
+    | Ok ({ Dsl.kind = Dsl.Workload w; _ } as scn) -> (
+        let w =
+          match seconds with
+          | None -> w
+          | Some s -> { w with Dsl.duration = Sw_sim.Time.of_float_s s }
+        in
+        let scn = { scn with Dsl.kind = Dsl.Workload w } in
+        let on_event ev =
+          if not quiet then
+            match ev with
+            | Sw_ckpt.Soak.Resumed { index; sim_ns } ->
+                Printf.eprintf "  [soak] resumed from checkpoint %d (t=%Ldns)\n%!"
+                  index sim_ns
+            | Sw_ckpt.Soak.Checkpointed { index; sim_ns; bytes; _ } ->
+                Printf.eprintf "  [soak] checkpoint %d at %Ldns (%d bytes)\n%!"
+                  index sim_ns bytes
+            | Sw_ckpt.Soak.Skipped_image { path; error } ->
+                Printf.eprintf "  [soak] skipped %s: %s\n%!" path
+                  (Sw_ckpt.Image.error_to_string error)
+            | Sw_ckpt.Soak.Finished { sim_ns } ->
+                Printf.eprintf "  [soak] finished at %Ldns\n%!" sim_ns
+        in
+        match
+          Sw_ckpt.Soak.run ~scenario:scn ?shards ~dir
+            ~every:(Sw_sim.Time.of_float_s every_s)
+            ?kill_after ?keep ~on_event ()
+        with
+        | exception Sw_ckpt.Soak.Killed { checkpoints; sim_ns } ->
+            Printf.eprintf "  [soak] killed after %d checkpoint(s) at %Ldns\n%!"
+              checkpoints sim_ns;
+            killed_exit
+        | exception Invalid_argument e ->
+            Printf.eprintf "error: %s\n" e;
+            1
+        | Error e ->
+            Printf.eprintf "error: %s\n"
+              (Format.asprintf "%a" Sw_ckpt.Soak.pp_error e);
+            1
+        | Ok o ->
+            let r = o.Sw_ckpt.Soak.result in
+            (* Same line and report shape as `workload run`, and nothing
+               about the recovery path in either: an interrupted-and-resumed
+               soak must byte-match an uninterrupted one. *)
+            Printf.printf
+              "%s: issued %d, completed %d (hits %d / misses %d), p50 %.2f \
+               ms, p99 %.2f ms\n"
+              scn.Dsl.name r.Wrun.issued r.Wrun.completed r.Wrun.hits
+              r.Wrun.misses r.Wrun.p50_ms r.Wrun.p99_ms;
+            Option.iter
+              (fun path ->
+                write_output (Some path)
+                  (Sw_runner.Report.to_string
+                     (workload_report [ (scn.Dsl.name, r) ])
+                  ^ "\n"))
+              output;
+            0)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".scn file.")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Checkpoint directory (created).")
+  in
+  let every =
+    Arg.(
+      value & opt float 0.25
+      & info [ "every" ]
+          ~doc:"Checkpoint interval in simulated seconds (absolute grid: a \
+                resumed run captures the same instants as a straight one).")
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~doc:"Override the scenario duration.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ]
+          ~doc:"Shard-count override for scenarios with a topology block.")
+  in
+  let kill_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill-after" ]
+          ~doc:"Crash (exit 70, no report) after writing N checkpoints in \
+                this process — for exercising recovery; rerun the same \
+                command to resume.")
+  in
+  let keep =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keep" ] ~doc:"Prune the timeline to the newest N images.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the final JSON report here.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No per-checkpoint progress.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run a .scn workload with periodic checkpoints, resuming from \
+             the newest valid image after a crash; the final report is \
+             byte-identical however often the run was interrupted")
+    Term.(
+      const run $ file $ dir $ every $ seconds $ shards $ kill_after $ keep
+      $ output $ quiet)
+
+(* --- bisect ---------------------------------------------------------------- *)
+
+let bisect_cmd =
+  let run a b =
+    match Sw_ckpt.Bisect.first_divergence ~a ~b with
+    | Ok d ->
+        Format.printf "%a@?" Sw_ckpt.Bisect.pp_divergence d;
+        1
+    | Error (Sw_ckpt.Bisect.No_divergence { compared }) ->
+        Printf.printf "no divergence: all %d shared checkpoints agree\n"
+          compared;
+        0
+    | Error e ->
+        Printf.eprintf "error: %s\n"
+          (Format.asprintf "%a" Sw_ckpt.Bisect.pp_error e);
+        2
+  in
+  let a =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR_A" ~doc:"First checkpoint directory.")
+  in
+  let b =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DIR_B" ~doc:"Second checkpoint directory.")
+  in
+  Cmd.v
+    (Cmd.info "bisect"
+       ~doc:"Find the first divergent checkpoint between two soak \
+             timelines, the metrics that differ, and (single-shard sides) \
+             the first divergent trace event with its causal lineage. \
+             Exit: 0 = identical, 1 = divergence found (reported on \
+             stdout), 2 = error — the diff convention")
+    Term.(const run $ a $ b)
+
 let () =
   let doc = "StopWatch: replicated-VM timing-channel mitigation (simulated)" in
   exit
@@ -729,5 +904,5 @@ let () =
        (Cmd.group (Cmd.info "stopwatch" ~doc)
           [
             plan_cmd; download_cmd; nfs_cmd; parsec_cmd; attack_cmd; trace_cmd;
-            workload_cmd;
+            workload_cmd; soak_cmd; bisect_cmd;
           ]))

@@ -111,3 +111,9 @@ let download t ~dst ~file ~size ~on_done () =
       ~on_msg ()
   in
   conn_ref := Some conn
+
+let () =
+  List.iter Sw_sim.Graft.register
+    [
+      [%extension_constructor Http_get]; [%extension_constructor Http_response];
+    ]

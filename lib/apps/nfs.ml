@@ -154,3 +154,7 @@ let run_client t ~dst ~rate_per_s ~procs ~ops ?(mix = paper_mix) ?(seed = 0x4E_F
       completed = !completed;
       latencies_ms = Sw_sim.Samples.to_array latencies;
     }
+
+let () =
+  List.iter Sw_sim.Graft.register
+    [ [%extension_constructor Nfs_call]; [%extension_constructor Nfs_reply] ]

@@ -103,3 +103,5 @@ let app profile ~collector () =
         | App.Disk_done _ -> next_actions ()
         | _ -> []);
   }
+
+let () = Sw_sim.Graft.register [%extension_constructor Job_done]

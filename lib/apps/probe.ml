@@ -76,3 +76,11 @@ let load_generator ?sink ?(period = Sw_sim.Time.ms 5) ?(burst = 8) ?(disk_every 
             (App.Set_timer { after = period; tag = timer_tag } :: disk) @ net
         | _ -> []);
   }
+
+let () =
+  List.iter Sw_sim.Graft.register
+    [
+      [%extension_constructor Probe_ping];
+      [%extension_constructor Probe_echo];
+      [%extension_constructor Stream_data];
+    ]

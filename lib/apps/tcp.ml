@@ -276,3 +276,5 @@ let step t input =
               [ Closed ]
             end
             else [])
+
+let () = Sw_sim.Graft.register [%extension_constructor Tcp]

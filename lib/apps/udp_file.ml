@@ -146,3 +146,11 @@ let fetch host ~dst ~file ~size ?(nak_delay = Time.ms 20) ~on_done () =
           end
       | _ -> ());
   Host.send host ~dst ~size:(64 + header) (Udp_request { file; size })
+
+let () =
+  List.iter Sw_sim.Graft.register
+    [
+      [%extension_constructor Udp_request];
+      [%extension_constructor Udp_data];
+      [%extension_constructor Udp_nak];
+    ]

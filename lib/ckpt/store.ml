@@ -1,0 +1,59 @@
+type entry = { index : int; path : string; meta : Image.meta }
+
+let path dir ~index = Filename.concat dir (Printf.sprintf "ckpt-%06d.img" index)
+
+let ensure_dir dir =
+  let rec mk d =
+    if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+    else begin
+      mk (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ when Sys.file_exists d -> ()
+    end
+  in
+  match mk dir with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Image.Io msg)
+
+let index_of_filename name =
+  match Scanf.sscanf_opt name "ckpt-%06d.img%!" (fun i -> i) with
+  | Some i when name = Printf.sprintf "ckpt-%06d.img" i -> Some i
+  | _ -> None
+
+let list dir =
+  let files = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort String.compare files;
+  let entries = ref [] and skipped = ref [] in
+  Array.iter
+    (fun name ->
+      match index_of_filename name with
+      | None -> ()
+      | Some index -> (
+          let path = Filename.concat dir name in
+          match Image.read_meta ~path with
+          | Ok meta -> entries := { index; path; meta } :: !entries
+          | Error e -> skipped := (path, e) :: !skipped))
+    files;
+  ( List.sort (fun a b -> compare a.index b.index) !entries,
+    List.rev !skipped )
+
+let latest_valid dir =
+  let entries, skipped = list dir in
+  let rejected = ref (List.map (fun (p, e) -> (p, e)) skipped) in
+  let rec walk = function
+    | [] -> None
+    | e :: older -> (
+        match Image.read ~path:e.path with
+        | Ok (meta, payload) -> Some ({ e with meta }, payload, !rejected)
+        | Error err ->
+            rejected := (e.path, err) :: !rejected;
+            walk older)
+  in
+  walk (List.rev entries)
+
+let prune dir ~keep =
+  let entries, _ = list dir in
+  let n = List.length entries in
+  if n > keep then
+    List.iteri
+      (fun i e -> if i < n - keep then try Sys.remove e.path with Sys_error _ -> ())
+      entries

@@ -1,0 +1,30 @@
+(** A checkpoint timeline: one directory, one image per checkpoint index,
+    named [ckpt-NNNNNN.img]. The store never deletes data behind the
+    caller's back and treats every file as potentially hostile — anything
+    unreadable is reported, not raised. *)
+
+type entry = { index : int; path : string; meta : Image.meta }
+
+(** [path dir ~index] is where the image for [index] lives. *)
+val path : string -> index:int -> string
+
+(** [ensure_dir dir] creates [dir] (and parents) if needed. *)
+val ensure_dir : string -> (unit, Image.error) result
+
+(** [list dir] enumerates readable images sorted by ascending index,
+    pairing each skipped file with why ([Image.read_meta] framing check
+    only; payloads are not verified). A missing directory is an empty
+    timeline. *)
+val list : string -> entry list * (string * Image.error) list
+
+(** [latest_valid dir] finds the newest image whose payload fully verifies
+    ({!Image.read}), walking backwards over corrupt/truncated newer ones —
+    the soak driver's crash-recovery rule. Returns the entry, its verified
+    payload, and the (path, error) pairs of every newer image that was
+    rejected on the way. [None] when no image verifies. *)
+val latest_valid :
+  string -> (entry * string * (string * Image.error) list) option
+
+(** [prune dir ~keep] removes verified-oldest images beyond the newest
+    [keep]; files that do not parse as images are left alone. *)
+val prune : string -> keep:int -> unit

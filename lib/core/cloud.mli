@@ -169,3 +169,41 @@ val run : t -> until:Sw_sim.Time.t -> unit
 
 (** [run_span t span] advances by [span] from the current time. *)
 val run_span : t -> Sw_sim.Time.t -> unit
+
+(** {1 Checkpoint / restore}
+
+    A quiescent cloud — between {!run} calls, never from inside an engine
+    callback — serializes wholesale: timer wheels with their pending event
+    closures, PRNG streams, replica groups and their pending/inbound/replay
+    logs, in-flight packets, disk queues, caches, and (when sharded) the
+    conductor's cross-shard inboxes. The image is produced by [Marshal]
+    with closures, so it is only loadable by the {e same binary} that wrote
+    it (the runtime's code digest enforces this); [Sw_ckpt.Image] wraps
+    these bytes in a versioned, checksummed, atomically-written container
+    and is what every tool above this layer uses. *)
+
+type restore_error =
+  | Incompatible_image of string
+      (** The bytes were not produced by {!checkpoint} in this exact
+          binary (or were truncated/corrupted past recognition). *)
+  | Unregistered_extensions of string list
+      (** The image contains packet-payload constructors this process
+          never registered with [Sw_sim.Graft] — matching them would
+          silently fail, so the restore is refused. *)
+
+val pp_restore_error : Format.formatter -> restore_error -> unit
+
+(** [checkpoint t ~extra] captures [t] and [extra] — anything sharing state
+    with the cloud, typically a workload handle whose closures capture it;
+    sharing is preserved, so the restored pair is wired together exactly as
+    the live one was. *)
+val checkpoint : t -> extra:'a -> string
+
+(** [restore bytes] rebuilds the pair written by {!checkpoint}. The ['a]
+    is trusted from the caller's context — feed this only bytes whose
+    provenance (same binary, same scenario) has been checked, e.g. via
+    [Sw_ckpt.Image]'s digest and metadata. On success the restored cloud
+    is fully live: extension-constructor slots are re-grafted
+    ([Sw_sim.Graft]) and the multicast group-id allocator advanced past
+    every restored group. *)
+val restore : string -> (t * 'a, restore_error) result

@@ -107,3 +107,6 @@ let unregister_vm t ~vm =
 
 let dropped t = Sw_obs.Registry.Counter.value t.m_dropped
 let replicated t = Sw_obs.Registry.Counter.value t.m_replicated
+
+let max_mcast_group t =
+  Hashtbl.fold (fun gid _ acc -> Stdlib.max gid acc) t.mcast_routes 0

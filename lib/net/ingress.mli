@@ -34,3 +34,8 @@ val replicated : t -> int
     {!Sw_obs.Event.Ingress_replicated} — the root of a packet's causal
     chain — when the sink is enabled. *)
 val set_trace : t -> Sw_obs.Trace.t -> unit
+
+(** Highest multicast group id routed by this ingress (0 when none) — the
+    restore path advances the global group-id allocator past it so groups
+    created after a checkpoint restore cannot collide with restored ones. *)
+val max_mcast_group : t -> int

@@ -286,3 +286,16 @@ let gaps_abandoned e = Sw_obs.Registry.Counter.value e.m_abandoned
 let partition_drops e = Sw_obs.Registry.Counter.value e.m_partition_drops
 let set_partitioned e on = e.partitioned <- on
 let partitioned e = e.partitioned
+
+let () =
+  List.iter Sw_sim.Graft.register
+    [
+      [%extension_constructor Mcast_data];
+      [%extension_constructor Mcast_nak];
+      [%extension_constructor Mcast_heartbeat];
+    ]
+
+let rec reserve_group_ids n =
+  let cur = Atomic.get group_counter in
+  if cur < n && not (Atomic.compare_and_set group_counter cur n) then
+    reserve_group_ids n

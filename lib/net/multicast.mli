@@ -81,3 +81,10 @@ val partitioned : endpoint -> bool
 
 (** Packets dropped at this endpoint by a partition window. *)
 val partition_drops : endpoint -> int
+
+(** [reserve_group_ids n] advances the global group-id allocator so every
+    future group id is [> n]. Called after a checkpoint restore with the
+    highest restored id: the allocator is process-global and not part of
+    any marshaled graph, so a freshly started process would otherwise
+    re-issue ids already taken by restored groups. *)
+val reserve_group_ids : int -> unit

@@ -23,3 +23,17 @@ let make ~src ~dst ~size ~seq payload =
 let pp fmt t =
   Format.fprintf fmt "%a->%a #%d (%dB)" Address.pp t.src Address.pp t.dst t.seq
     t.size
+
+(* Checkpoint support: extension constructors must be re-grafted after
+   Marshal restore (see Sw_sim.Graft); every [payload +=] site registers
+   its constructors at initialisation time. *)
+let () =
+  List.iter Sw_sim.Graft.register
+    [
+      [%extension_constructor Empty];
+      [%extension_constructor Guest_bound];
+      [%extension_constructor Proposal];
+      [%extension_constructor Egress_tunnel];
+      [%extension_constructor Epoch_report];
+      [%extension_constructor Background];
+    ]

@@ -61,7 +61,13 @@ let clear t =
   Array.fill t.buffer 0 t.capacity None;
   t.next <- 0;
   t.count <- 0;
-  t.dropped <- 0
+  t.dropped <- 0;
+  (* Keep the registry mirror in lockstep with the ring counter: a cleared
+     ring that leaves the mirror standing makes post-restore lineage
+     reconstruction report drops that never reached the surviving ring. *)
+  match t.m_dropped with
+  | Some c -> Registry.Counter.reset c
+  | None -> ()
 
 let length t = t.count
 let capacity t = t.capacity

@@ -41,7 +41,11 @@ val fold : ('acc -> entry -> 'acc) -> 'acc -> t -> 'acc
 (** Entries in emission order (oldest first); a thin wrapper over {!fold}. *)
 val entries : t -> entry list
 
+(** [clear t] empties the ring and zeroes the drop accounting — both the
+    ring's own counter and its ["trace.dropped"] registry mirror, so the
+    two never disagree after a checkpoint restore. *)
 val clear : t -> unit
+
 val length : t -> int
 
 (** The ring's fixed capacity. *)

@@ -1,10 +1,15 @@
-type 'a t = { key : string; seed : int64; f : seed:int64 -> 'a }
+type 'a t = { key : string; seed : int64; f : seed:int64 -> attempt:int -> 'a }
 
 let make ?seed ~key f =
+  let seed = match seed with Some s -> s | None -> Seed.of_key key in
+  { key; seed; f = (fun ~seed ~attempt:_ -> f ~seed) }
+
+let make_resumable ?seed ~key f =
   let seed = match seed with Some s -> s | None -> Seed.of_key key in
   { key; seed; f }
 
 let key t = t.key
 let seed t = t.seed
-let run t = t.f ~seed:t.seed
-let map g t = { t with f = (fun ~seed -> g (t.f ~seed)) }
+let run_attempt t ~attempt = t.f ~seed:t.seed ~attempt
+let run t = run_attempt t ~attempt:1
+let map g t = { t with f = (fun ~seed ~attempt -> g (t.f ~seed ~attempt)) }

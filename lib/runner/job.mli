@@ -15,13 +15,26 @@ type 'a t
     seeding scheme. *)
 val make : ?seed:int64 -> key:string -> (seed:int64 -> 'a) -> 'a t
 
+(** [make_resumable ?seed ~key f] builds a job whose closure also learns
+    which attempt is running (1 on the first). A job that persists
+    progress — a checkpointing soak ([Sw_ckpt.Soak]) being the canonical
+    case — uses [attempt > 1] to resume from its saved state instead of
+    restarting, turning the runner's crash-retry loop into crash
+    {e recovery}. *)
+val make_resumable :
+  ?seed:int64 -> key:string -> (seed:int64 -> attempt:int -> 'a) -> 'a t
+
 val key : 'a t -> string
 val seed : 'a t -> int64
 
 (** [run t] performs one attempt, passing the job its seed. Exceptions
     propagate to the caller (the runner turns them into structured
-    failures). *)
+    failures). Equivalent to [run_attempt t ~attempt:1]. *)
 val run : 'a t -> 'a
+
+(** [run_attempt t ~attempt] performs one attempt, telling the job which
+    one it is — what the runner's retry loop calls. *)
+val run_attempt : 'a t -> attempt:int -> 'a
 
 (** [map f t] post-processes the job's result with [f] (applied on the
     worker, as part of the job). *)

@@ -47,7 +47,7 @@ let run_one ~emit ~timeout_s ~retries ~backoff_s index job =
     emit (Started { index; key; attempt = k });
     let t0 = Wall.now_s () in
     let result =
-      try Ok (Job.run job)
+      try Ok (Job.run_attempt job ~attempt:k)
       with e -> Error (Exn (Printexc.to_string e))
     in
     let wall_s = Wall.elapsed_s t0 in

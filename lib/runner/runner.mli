@@ -47,9 +47,12 @@ val progress_printer : ?out:out_channel -> total:int -> unit -> event -> unit
     Without [pool] (or on a 1-worker pool) jobs run inline, sequentially.
     [retries] (default 1) is the number of {e re}-attempts after the
     first; attempt [k]'s failure backs off [backoff_s * 2^(k-1)] seconds
-    (default 0.05) before retrying. [timeout_s] bounds each attempt as
-    described under {!Timed_out}. An exception in one job never propagates:
-    it becomes that job's [Error]. *)
+    (default 0.05) before retrying. Each attempt is told its number
+    ({!Job.run_attempt}), so jobs built with {!Job.make_resumable} — e.g.
+    checkpointing soaks — recover from where the crashed attempt left off
+    rather than restarting. [timeout_s] bounds each attempt as described
+    under {!Timed_out}. An exception in one job never propagates: it
+    becomes that job's [Error]. *)
 val map :
   ?pool:Pool.t ->
   ?timeout_s:float ->

@@ -20,6 +20,12 @@ let compare_msg a b =
     let c = compare a.src b.src in
     if c <> 0 then c else compare a.seq b.seq
 
+(* Everything a [t] holds between [run] calls is plain marshalable data —
+   engines, boxes, counters, times. The mutex/condvar barrier and its
+   bookkeeping live in a [gang] built afresh for each parallel [run] call
+   and torn down before it returns, so a quiescent conductor can be
+   captured by [Marshal] (checkpointing marshals whole clouds, conductor
+   included) without ever reaching an unmarshalable custom block. *)
 type t = {
   engines : Engine.t array;
   lookahead : Time.t;
@@ -30,6 +36,10 @@ type t = {
   post_seq : int array;  (* per-source post counter, source-domain-local *)
   inbox : msg list array;  (* per-destination, sorted, injected at window start *)
   mutable exchanged : int;
+}
+
+(* The per-[run] domain gang barrier. *)
+type gang = {
   m : Mutex.t;
   cv : Condition.t;
   mutable epoch : int;  (* bumped to release workers into a window *)
@@ -53,12 +63,6 @@ let create ?(parallel = true) ~lookahead engines =
     post_seq = Array.make n 0;
     inbox = Array.make n [];
     exchanged = 0;
-    m = Mutex.create ();
-    cv = Condition.create ();
-    epoch = 0;
-    quit = false;
-    arrived = 0;
-    failed = None;
   }
 
 let shards t = Array.length t.engines
@@ -103,20 +107,19 @@ let exchange t =
   done
 
 (* Worker for shard [i]: wait for an epoch bump, run the window (or quit),
-   report arrival. All fields read outside the mutex are written by the
-   main domain before the epoch bump and stable until every worker has
-   arrived, so the barrier's lock ordering covers them. [seen0] is the
-   epoch at spawn time, read by the *main* domain before spawning — a
-   worker sampling [t.epoch] itself could start after the first bump and
-   mistake it for already-seen, waiting forever on a window it owes. *)
-let worker t seen0 i =
+   report arrival. All conductor fields read outside the mutex are written
+   by the main domain before the epoch bump and stable until every worker
+   has arrived, so the barrier's lock ordering covers them. The gang is
+   fresh for this [run] call with [epoch = 0], and workers are spawned
+   before the first bump, so epoch 0 is always the already-seen state. *)
+let worker t g i =
   let rec loop seen =
-    Mutex.lock t.m;
-    while t.epoch = seen && not t.quit do
-      Condition.wait t.cv t.m
+    Mutex.lock g.m;
+    while g.epoch = seen && not g.quit do
+      Condition.wait g.cv g.m
     done;
-    let quit = t.quit and epoch = t.epoch in
-    Mutex.unlock t.m;
+    let quit = g.quit and epoch = g.epoch in
+    Mutex.unlock g.m;
     if not quit then begin
       (* A failure must still reach the barrier, or the main domain waits
          forever; it is recorded and re-raised over there. *)
@@ -125,17 +128,17 @@ let worker t seen0 i =
         | () -> None
         | exception e -> Some e
       in
-      Mutex.lock t.m;
-      (match (failure, t.failed) with
-      | Some e, None -> t.failed <- Some e
+      Mutex.lock g.m;
+      (match (failure, g.failed) with
+      | Some e, None -> g.failed <- Some e
       | _ -> ());
-      t.arrived <- t.arrived + 1;
-      if t.arrived = Array.length t.engines - 1 then Condition.broadcast t.cv;
-      Mutex.unlock t.m;
+      g.arrived <- g.arrived + 1;
+      if g.arrived = Array.length t.engines - 1 then Condition.broadcast g.cv;
+      Mutex.unlock g.m;
       if Option.is_none failure then loop epoch
     end
   in
-  loop seen0
+  loop 0
 
 let run_windows t ~until ~each =
   while Time.(t.now < until) do
@@ -159,33 +162,40 @@ let run t ~until =
           run_shard t i limit
         done)
   else begin
-    let seen0 = t.epoch in
+    let g =
+      {
+        m = Mutex.create ();
+        cv = Condition.create ();
+        epoch = 0;
+        quit = false;
+        arrived = 0;
+        failed = None;
+      }
+    in
     let domains =
-      Array.init (n - 1) (fun k -> Domain.spawn (fun () -> worker t seen0 (k + 1)))
+      Array.init (n - 1) (fun k -> Domain.spawn (fun () -> worker t g (k + 1)))
     in
     Fun.protect
       ~finally:(fun () ->
-        Mutex.lock t.m;
-        t.quit <- true;
-        Condition.broadcast t.cv;
-        Mutex.unlock t.m;
-        Array.iter Domain.join domains;
-        t.quit <- false;
-        t.failed <- None)
+        Mutex.lock g.m;
+        g.quit <- true;
+        Condition.broadcast g.cv;
+        Mutex.unlock g.m;
+        Array.iter Domain.join domains)
       (fun () ->
         run_windows t ~until ~each:(fun limit ->
-            Mutex.lock t.m;
-            t.arrived <- 0;
-            t.epoch <- t.epoch + 1;
-            Condition.broadcast t.cv;
-            Mutex.unlock t.m;
+            Mutex.lock g.m;
+            g.arrived <- 0;
+            g.epoch <- g.epoch + 1;
+            Condition.broadcast g.cv;
+            Mutex.unlock g.m;
             run_shard t 0 limit;
-            Mutex.lock t.m;
-            while t.arrived < n - 1 do
-              Condition.wait t.cv t.m
+            Mutex.lock g.m;
+            while g.arrived < n - 1 do
+              Condition.wait g.cv g.m
             done;
-            let failed = t.failed in
-            Mutex.unlock t.m;
+            let failed = g.failed in
+            Mutex.unlock g.m;
             (* Raising here trips the [finally]: quit is published and the
                surviving workers join before the exception escapes. *)
             match failed with Some e -> raise e | None -> ()))

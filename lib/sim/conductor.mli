@@ -24,7 +24,13 @@
     [post] may only be called from that domain with [~src:i]. Between
     windows (and outside {!run}) everything is owned by the caller. The
     worker gang is spawned at the start of each {!run} and joined before it
-    returns, so a conductor holds no threads while idle. *)
+    returns, so a conductor holds no threads while idle.
+
+    {b Checkpointability.} A quiescent conductor (between {!run} calls) is
+    plain marshalable data: the barrier's mutex and condition variable
+    belong to the per-{!run} gang, never to [t], so [Marshal] with
+    closures captures a sharded cloud — pending cross-shard inboxes
+    included — without meeting an unmarshalable custom block. *)
 
 type t
 

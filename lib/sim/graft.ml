@@ -1,0 +1,126 @@
+let slots : (string, Obj.t) Hashtbl.t = Hashtbl.create 64
+
+let register (ec : Obj.Extension_constructor.t) =
+  let name = Obj.Extension_constructor.name ec in
+  match Hashtbl.find_opt slots name with
+  | Some existing when existing == Obj.repr ec -> ()
+  | Some _ -> invalid_arg ("Graft.register: duplicate slot name " ^ name)
+  | None -> Hashtbl.add slots name (Obj.repr ec)
+
+let registered () = Hashtbl.length slots
+
+type stats = { patched : int; visited : int }
+
+(* Closinfo word of a closure block (field 1), seen as an OCaml int:
+   [arity : 8][start-of-environment : int_size - 8]. *)
+let startenv_mask = (1 lsl (Sys.int_size - 8)) - 1
+let word_bytes = Sys.word_size / 8
+
+(* Physical-identity visited set. Keys are live values, so the table stays
+   correct across GC moves; the hash only reads data that is guaranteed to
+   be a value (immediate fields, environment fields of closures) and never
+   dereferences a potential code pointer. *)
+module H = Hashtbl.Make (struct
+  type t = Obj.t
+
+  let equal = ( == )
+
+  let hash o =
+    let tag = Obj.tag o in
+    if tag = Obj.string_tag then Hashtbl.hash (Obj.obj o : string)
+    else if tag = Obj.double_tag then Hashtbl.hash (Obj.obj o : float)
+    else begin
+      let size = Obj.size o in
+      let h = ref (tag lxor (size * 0x9e3779b1)) in
+      if tag < Obj.no_scan_tag then begin
+        let start =
+          if tag = Obj.closure_tag then
+            (Obj.obj (Obj.field o 1) : int) land startenv_mask
+          else 0
+        in
+        let stop = min size (start + 4) in
+        for i = start to stop - 1 do
+          let f = Obj.field o i in
+          if Obj.is_int f then h := (!h * 31) + (Obj.obj f : int)
+          else begin
+            (* One level into child blocks — enough to spread closures that
+               share code but capture different records. Children of a
+               non-closure parent are genuine values; only their first
+               field is inspected, and only when it is an immediate. *)
+            let t2 = Obj.tag f in
+            let mix =
+              if t2 < Obj.no_scan_tag && t2 <> Obj.closure_tag
+                 && t2 <> Obj.infix_tag && Obj.size f > 0
+              then
+                let g = Obj.field f 0 in
+                if Obj.is_int g then Obj.obj g else Obj.tag g
+              else Obj.size f
+            in
+            h := (!h * 31) + (t2 * 131) + mix
+          end
+        done
+      end;
+      !h land max_int
+    end
+end)
+
+(* An extension-constructor slot: [Object_tag] block of exactly two fields,
+   a name string and an id int. Real (camlinternalOO) objects carry a class
+   block, not a string, in field 0, so they are never mistaken for slots. *)
+let is_slot f =
+  Obj.tag f = Obj.object_tag
+  && Obj.size f = 2
+  && (let n = Obj.field f 0 in
+      Obj.is_block n && Obj.tag n = Obj.string_tag)
+  && Obj.is_int (Obj.field f 1)
+
+let repair root =
+  let visited = H.create 65536 in
+  let stack = ref [ root ] in
+  let patched = ref 0 in
+  let unknown = ref [] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+        stack := rest;
+        if Obj.is_block v then begin
+          (* An infix pointer aims into the middle of a closure block; the
+             enclosing closure is the unit of visiting and scanning. *)
+          let v =
+            if Obj.tag v = Obj.infix_tag then
+              Obj.add_offset v (Int32.of_int (-(Obj.size v * word_bytes)))
+            else v
+          in
+          if not (H.mem visited v) then begin
+            H.add visited v ();
+            let tag = Obj.tag v in
+            if tag < Obj.no_scan_tag then begin
+              let size = Obj.size v in
+              let start =
+                if tag = Obj.closure_tag then
+                  (Obj.obj (Obj.field v 1) : int) land startenv_mask
+                else 0
+              in
+              for i = start to size - 1 do
+                let f = Obj.field v i in
+                if Obj.is_block f then
+                  if is_slot f then begin
+                    let name : string = Obj.obj (Obj.field f 0) in
+                    match Hashtbl.find_opt slots name with
+                    | Some live ->
+                        if f != live then begin
+                          Obj.set_field v i live;
+                          incr patched
+                        end
+                    | None -> unknown := name :: !unknown
+                  end
+                  else stack := f :: !stack
+              done
+            end
+          end
+        end
+  done;
+  match List.sort_uniq String.compare !unknown with
+  | [] -> Ok { patched = !patched; visited = H.length visited }
+  | names -> Error names

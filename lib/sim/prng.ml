@@ -64,3 +64,14 @@ let shuffle t a =
 let choose t = function
   | [] -> invalid_arg "Prng.choose: empty list"
   | l -> List.nth l (int t (List.length l))
+
+type state = int64
+
+let export t = t.state
+let import s = { state = s }
+let state_to_string = Int64.to_string
+
+let state_of_string s =
+  match Int64.of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "Prng.state_of_string: %S is not a state" s)

@@ -843,3 +843,5 @@ let host ?channel ?start t ~group ~app ~peers =
     };
   Option.iter (start_heartbeat i) config.Config.vmm_heartbeat;
   i
+
+let () = Sw_sim.Graft.register [%extension_constructor Vmm_alive]

@@ -138,3 +138,7 @@ let server (config : config) () =
             actions @ List.concat_map handle_conn_event conn_events
         | None -> own_event event);
   }
+
+let () =
+  List.iter Sw_sim.Graft.register
+    [ [%extension_constructor Wl_get]; [%extension_constructor Wl_resp] ]

@@ -42,7 +42,13 @@ let quantile_ms snapshot name q =
    drain before we snapshot. *)
 let drain = Time.ms 500
 
-let run_single (w : Dsl.workload) =
+type handle = {
+  cloud : Cloud.t;
+  until : Time.t;
+  finish : unit -> result;
+}
+
+let prepare_single (w : Dsl.workload) =
   let m = w.replicas in
   let config = { Sw_vmm.Config.default with Sw_vmm.Config.replicas = m } in
   let machines = if w.stopwatch then m else 1 in
@@ -114,33 +120,35 @@ let run_single (w : Dsl.workload) =
         until = w.duration;
       }
   in
-  Cloud.run cloud ~until:(Time.add w.duration drain);
-  let metrics = Cloud.metrics_snapshot cloud in
-  let attacker_inter_delivery_ms =
-    match probe with
-    | None -> [||]
-    | Some attacker ->
-        let observed_machine = if w.stopwatch then m - 1 else 0 in
-        let instance =
-          match Cloud.replica_on attacker ~machine:observed_machine with
-          | Some i -> i
-          | None -> List.hd (Cloud.replicas attacker)
-        in
-        Sw_vmm.Vmm.inter_delivery_virts_ms instance
+  let finish () =
+    let metrics = Cloud.metrics_snapshot cloud in
+    let attacker_inter_delivery_ms =
+      match probe with
+      | None -> [||]
+      | Some attacker ->
+          let observed_machine = if w.stopwatch then m - 1 else 0 in
+          let instance =
+            match Cloud.replica_on attacker ~machine:observed_machine with
+            | Some i -> i
+            | None -> List.hd (Cloud.replicas attacker)
+          in
+          Sw_vmm.Vmm.inter_delivery_virts_ms instance
+    in
+    {
+      issued = Flowgen.issued flow;
+      completed = Flowgen.completed flow;
+      hits = Flowgen.hits flow;
+      misses = Flowgen.misses flow;
+      p50_ms = quantile_ms metrics "workload.response_ns" 0.5;
+      p99_ms = quantile_ms metrics "workload.response_ns" 0.99;
+      attacker_inter_delivery_ms;
+      trace;
+      metrics;
+      fired = Cloud.total_fired cloud;
+      cross_shard = Cloud.cross_shard_exchanged cloud;
+    }
   in
-  {
-    issued = Flowgen.issued flow;
-    completed = Flowgen.completed flow;
-    hits = Flowgen.hits flow;
-    misses = Flowgen.misses flow;
-    p50_ms = quantile_ms metrics "workload.response_ns" 0.5;
-    p99_ms = quantile_ms metrics "workload.response_ns" 0.99;
-    attacker_inter_delivery_ms;
-    trace;
-    metrics;
-    fired = Cloud.total_fired cloud;
-    cross_shard = Cloud.cross_shard_exchanged cloud;
-  }
+  { cloud; until = Time.add w.duration drain; finish }
 
 (* Datacenter-scale topology runs: [hosts] machines carved into
    [hosts/replicas] independent service cells, each with its own replica
@@ -154,7 +162,7 @@ let run_single (w : Dsl.workload) =
    generator is derived from [(seed, purpose, cell)] alone. The remaining
    cross-shard reordering is between same-instant events of *different*
    cells, which share no state. *)
-let run_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
+let prepare_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
   let topo =
     match shards with
     | None -> topo
@@ -260,41 +268,48 @@ let run_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
       flows := ew :: !flows
     end
   done;
-  Cloud.run cloud ~until:(Time.add w.duration drain);
-  let metrics = Cloud.metrics_snapshot cloud in
-  (* Cell response times live under per-cell names; fold them into one
-     cloud-wide histogram for the headline quantiles. *)
-  let merged =
-    Snapshot.merge_all
-      (List.filter_map
-         (fun c ->
-           match
-             Snapshot.histogram metrics
-               (Printf.sprintf "workload.cell%d.response_ns" c)
-           with
-           | None -> None
-           | Some h ->
-               Some
-                 (Snapshot.of_list
-                    [ ("workload.response_ns", Snapshot.Histogram h) ]))
-         (List.init cells Fun.id))
+  let finish () =
+    let metrics = Cloud.metrics_snapshot cloud in
+    (* Cell response times live under per-cell names; fold them into one
+       cloud-wide histogram for the headline quantiles. *)
+    let merged =
+      Snapshot.merge_all
+        (List.filter_map
+           (fun c ->
+             match
+               Snapshot.histogram metrics
+                 (Printf.sprintf "workload.cell%d.response_ns" c)
+             with
+             | None -> None
+             | Some h ->
+                 Some
+                   (Snapshot.of_list
+                      [ ("workload.response_ns", Snapshot.Histogram h) ]))
+           (List.init cells Fun.id))
+    in
+    let sum f = List.fold_left (fun acc fl -> acc + f fl) 0 !flows in
+    {
+      issued = sum Flowgen.issued;
+      completed = sum Flowgen.completed;
+      hits = sum Flowgen.hits;
+      misses = sum Flowgen.misses;
+      p50_ms = quantile_ms merged "workload.response_ns" 0.5;
+      p99_ms = quantile_ms merged "workload.response_ns" 0.99;
+      attacker_inter_delivery_ms = [||];
+      trace = None;
+      metrics;
+      fired = Cloud.total_fired cloud;
+      cross_shard = Cloud.cross_shard_exchanged cloud;
+    }
   in
-  let sum f = List.fold_left (fun acc fl -> acc + f fl) 0 !flows in
-  {
-    issued = sum Flowgen.issued;
-    completed = sum Flowgen.completed;
-    hits = sum Flowgen.hits;
-    misses = sum Flowgen.misses;
-    p50_ms = quantile_ms merged "workload.response_ns" 0.5;
-    p99_ms = quantile_ms merged "workload.response_ns" 0.99;
-    attacker_inter_delivery_ms = [||];
-    trace = None;
-    metrics;
-    fired = Cloud.total_fired cloud;
-    cross_shard = Cloud.cross_shard_exchanged cloud;
-  }
+  { cloud; until = Time.add w.duration drain; finish }
+
+let prepare ?shards (w : Dsl.workload) =
+  match w.topology with
+  | Some topo -> prepare_datacenter ?shards w topo
+  | None -> prepare_single w
 
 let run ?shards (w : Dsl.workload) =
-  match w.topology with
-  | Some topo -> run_datacenter ?shards w topo
-  | None -> run_single w
+  let h = prepare ?shards w in
+  Cloud.run h.cloud ~until:h.until;
+  h.finish ()

@@ -36,6 +36,25 @@ type result = {
     when the histogram is absent or empty. *)
 val quantile_ms : Sw_obs.Snapshot.t -> string -> float -> float
 
+(** A built-but-not-yet-run scenario: the cloud with all guests, clients,
+    probes, and fault schedules installed, the time the load (plus drain)
+    ends, and a [finish] thunk that distils the result once the simulation
+    has been advanced to [until]. The handle is exactly what a checkpoint
+    captures: [Cloud.checkpoint cloud ~extra:handle] serializes the pair
+    with their sharing intact ([finish]'s environment closes over the
+    cloud), so a restored handle's [finish] reads the restored cloud. The
+    soak driver ([Sw_ckpt.Soak]) runs handles in checkpointed slices;
+    {!run} is the one-shot form. *)
+type handle = {
+  cloud : Stopwatch.Cloud.t;
+  until : Sw_sim.Time.t;  (** Scenario duration plus the drain window. *)
+  finish : unit -> result;  (** Call once the cloud has reached [until]. *)
+}
+
+(** [prepare ?shards w] builds the scenario without advancing it; see
+    {!run} for the scenario semantics and {!handle} for what to do next. *)
+val prepare : ?shards:int -> Dsl.workload -> handle
+
 (** Runs the scenario. Without a [topology] block this is the single-cell
     path above. With one, the cloud is [topology.hosts] machines carved
     into [hosts/replicas] service cells (each its own replica group, KV
