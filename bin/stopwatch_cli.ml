@@ -587,8 +587,26 @@ let run_variants ~pool ~make jobs_list =
     jobs_list
     (Sw_runner.Runner.map ?pool jobs)
 
+(* One warm-start cache entry per (variant workload, shards, partition):
+   the digest of the re-printed scenario already covers seed, duration,
+   multiplier scaling, and the topology block, so any change to what gets
+   built changes the key and misses the cache. *)
+let warm_key ~name (w : Dsl.workload) ~shards ~partition =
+  Printf.sprintf "workload:%s:shards=%d:partition=%s"
+    (Digest.to_hex
+       (Digest.string (Dsl.print { Dsl.name; kind = Dsl.Workload w })))
+    (match (shards, w.Dsl.topology) with
+    | Some s, Some _ -> s
+    | _, Some t -> t.Dsl.shards
+    | _, None -> 1)
+    (match partition with
+    | Some `Affinity -> "affinity"
+    | Some `Contiguous -> "contiguous"
+    | Some (`Assign _) -> "assign"  (* not reachable from the CLI *)
+    | None -> "scenario")
+
 let workload_run_cmd =
-  let run file seconds jobs shards output smoke =
+  let run file seconds jobs shards partition warm output smoke =
     with_pool jobs (fun pool ->
         match load_scenario file with
         | Error e ->
@@ -638,10 +656,33 @@ let workload_run_cmd =
                 Printf.eprintf "error: %s\n" e;
                 1
             | Ok () ->
+            let make w =
+              match warm with
+              | None -> Wrun.run ?shards ?partition w
+              | Some dir -> (
+                  (* Warm start: restore the prepared t=0 cloud from the
+                     cache (or build and checkpoint it on first use), then
+                     advance it — byte-identical to the cold path, which
+                     the warm-start smoke pins. *)
+                  let eff =
+                    match (shards, w.Dsl.topology) with
+                    | Some s, Some _ -> s
+                    | _, Some t -> t.Dsl.shards
+                    | _, None -> 1
+                  in
+                  match
+                    Sw_ckpt.Warm.load_or_build ~dir
+                      ~key:(warm_key ~name w ~shards ~partition)
+                      ~seed:w.Dsl.seed ~shards:eff
+                      ~build:(fun () -> Wrun.prepare ?shards ?partition w)
+                  with
+                  | Error e -> failwith ("warm-start cache: " ^ e)
+                  | Ok (h, _) ->
+                      Stopwatch.Cloud.run h.Wrun.cloud ~until:h.Wrun.until;
+                      h.Wrun.finish ())
+            in
             let results =
-              run_variants ~pool
-                ~make:(fun w -> Wrun.run ?shards w)
-                (Dsl.workload_variants ~name w)
+              run_variants ~pool ~make (Dsl.workload_variants ~name w)
             in
             List.iter
               (fun (key, (r : Wrun.result)) ->
@@ -706,6 +747,33 @@ let workload_run_cmd =
                 unsharded; the per-variant $(b,-j) pool composes with this \
                 (each variant's cloud uses its own shard gang).")
   in
+  let partition =
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("contiguous", `Contiguous); ("affinity", `Affinity) ]))
+          None
+      & info [ "partition" ]
+          ~doc:"Cell-to-shard placement for sharded topology scenarios, \
+                overriding the block's own $(b,partition) field: \
+                $(b,contiguous) cuts static blocks, $(b,affinity) packs \
+                chatty cells co-shard (Sw_placement.Affinity over the \
+                east-west traffic graph). Either way the report bytes are \
+                identical; only the cross-shard message rate and wall time \
+                change.")
+  in
+  let warm =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "warm" ] ~docv:"DIR"
+          ~doc:"Warm-start cache directory: restore each variant's \
+                prepared t=0 cloud from a checkpoint image under \
+                $(docv) instead of rebuilding it (building and caching it \
+                on first use). Reports are byte-identical to a cold run. \
+                Images are same-binary artifacts; stale ones are rebuilt \
+                transparently.")
+  in
   let smoke =
     Arg.(
       value & flag
@@ -716,7 +784,9 @@ let workload_run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile and run a .scn scenario")
-    Term.(const run $ file $ seconds $ jobs_arg $ shards $ output $ smoke)
+    Term.(
+      const run $ file $ seconds $ jobs_arg $ shards $ partition $ warm
+      $ output $ smoke)
 
 let workload_cmd =
   Cmd.group

@@ -26,6 +26,7 @@ type t = {
   config : Sw_vmm.Config.t;
   shards : shard_ctx array;
   parallel : bool;
+  lookahead_mode : [ `Global | `Pairwise ];
   block : int array;  (* machine id -> owning shard *)
   machines : Sw_vmm.Machine.t array;
   vmms : Sw_vmm.Vmm.t array;
@@ -42,7 +43,7 @@ type t = {
 let sharded t = Array.length t.shards > 1
 
 (* Contiguous machine blocks, sizes as even as possible, low shards first. *)
-let partition ~machines ~shards =
+let contiguous_partition ~machines ~shards =
   let base = machines / shards and rem = machines mod shards in
   let block = Array.make machines 0 in
   let m = ref 0 in
@@ -60,9 +61,42 @@ let partition ~machines ~shards =
    sequential windowed driver there. Byte-identical either way. *)
 let default_parallel = lazy (Domain.recommended_domain_count () > 1)
 
+(* Owning shard of a delivery target, as seen from shard [self]: per-shard
+   addresses (Ingress, Egress, broadcast) and unknown ids resolve to
+   [self]. Shared by the cross-shard send path, the lookahead matrix, and
+   pair-link installation, so all three agree on ownership. *)
+let locate t self = function
+  | Address.Vmm m -> t.block.(m)
+  | Address.Vm v -> (
+      match Hashtbl.find_opt t.vm_shard v with Some sh -> sh | None -> self)
+  | Address.Host h -> (
+      match Hashtbl.find_opt t.host_shard h with Some sh -> sh | None -> self)
+  | Address.Ingress | Address.Egress | Address.Broadcast_addr -> self
+
+(* An explicit machine-to-shard assignment (the affinity partitioner's
+   output, or any caller-supplied map). Every machine must be mapped and
+   every shard index in range; replica-group atomicity is enforced where it
+   always was, at [deploy] time. *)
+let check_assignment assign ~machines ~shards =
+  if Array.length assign <> machines then
+    invalid_arg
+      (Printf.sprintf
+         "Cloud.create: partition assigns %d machines, cloud has %d"
+         (Array.length assign) machines);
+  Array.iteri
+    (fun m sh ->
+      if sh < 0 || sh >= shards then
+        invalid_arg
+          (Printf.sprintf
+             "Cloud.create: partition puts machine %d on shard %d (of %d)" m
+             sh shards))
+    assign;
+  Array.copy assign
+
 let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
     ?(default_link = Sw_net.Network.lan) ?(rate_spread = 0.)
-    ?(clock_spread = Time.zero) ?profile ?(shards = 1) ?parallel ~machines () =
+    ?(clock_spread = Time.zero) ?profile ?(shards = 1) ?parallel
+    ?(partition = `Contiguous) ?(lookahead = `Pairwise) ~machines () =
   let parallel =
     match parallel with Some p -> p | None -> Lazy.force default_parallel
   in
@@ -114,6 +148,7 @@ let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
       config;
       shards = [| shard |];
       parallel;
+      lookahead_mode = lookahead;
       block = Array.make machines 0;
       machines = machine_arr;
       vmms;
@@ -132,7 +167,11 @@ let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
        stochastic stream key-derived so that no draw order depends on the
        partition. Hardware spreads draw from one cloud-level keyed stream
        in machine-id order. *)
-    let block = partition ~machines ~shards in
+    let block =
+      match partition with
+      | `Contiguous -> contiguous_partition ~machines ~shards
+      | `Affinity assign -> check_assignment assign ~machines ~shards
+    in
     let shard_arr =
       Array.init shards (fun i ->
           let metrics = Sw_obs.Registry.create () in
@@ -182,6 +221,7 @@ let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
         config;
         shards = shard_arr;
         parallel;
+        lookahead_mode = lookahead;
         block;
         machines = machine_arr;
         vmms;
@@ -202,19 +242,7 @@ let create ?(config = Sw_vmm.Config.default) ?(seed = 0x57094A7CL)
        creation), so the post hook late-binds through [t]. *)
     Array.iteri
       (fun self sh ->
-        let locate = function
-          | Address.Vmm m -> t.block.(m)
-          | Address.Vm v -> (
-              match Hashtbl.find_opt t.vm_shard v with
-              | Some s -> s
-              | None -> self)
-          | Address.Host h -> (
-              match Hashtbl.find_opt t.host_shard h with
-              | Some s -> s
-              | None -> self)
-          | Address.Ingress | Address.Egress | Address.Broadcast_addr -> self
-        in
-        Sw_net.Network.set_remote sh.sh_network ~shard:self ~locate
+        Sw_net.Network.set_remote sh.sh_network ~shard:self ~locate:(locate t self)
           ~post:(fun ~dst ~at ~target pkt ->
             match t.conductor with
             | Some c ->
@@ -445,6 +473,15 @@ let add_host t ?(link = Sw_net.Network.wan) ?(shard = 0) () =
     t.shards;
   host
 
+(* A directed pair override lives on the fabric of the shard owning [src]:
+   that is the only fabric that ever prices sends from [src], so no
+   mirroring is needed — and *not* mirroring is what keeps an intra-shard
+   fast link (rack-local replica interconnects) out of every other pair's
+   lookahead floor. *)
+let set_pair_link t ~src ~dst params =
+  let owner = locate t 0 src in
+  Sw_net.Network.set_link t.shards.(owner).sh_network ~src ~dst params
+
 let start_background t ~rate_per_s ?(size = 64) () =
   if rate_per_s <= 0. then invalid_arg "Cloud.start_background: rate must be positive";
   (* Sharded clouds draw the arrival process from a keyed stream (the
@@ -472,23 +509,39 @@ let start_background t ~rate_per_s ?(size = 64) () =
   in
   arrival ()
 
-(* Lookahead for the conservative windows: the smallest propagation latency
-   any link could impose on a cross-shard hop. Computed when the conductor
-   is first needed, so links installed after [create] (host access links,
+(* Lookahead for the conservative windows, computed when the conductor is
+   first needed, so links installed after [create] (host access links,
    overrides) are accounted for; links added later may only violate the
-   bound, which [Conductor.post] then reports. *)
+   bound, which [Conductor.post] then reports.
+
+   [`Global] is the legacy bound — the smallest propagation latency any
+   link anywhere could impose on a hop, one scalar for every shard pair.
+   [`Pairwise] (the default) asks each shard's fabric for its
+   per-destination-shard floors instead ({!Sw_net.Network.min_latency_to}),
+   so a fast rack-local link only tightens the windows of the pairs that
+   can actually traverse it. *)
 let conductor t =
   match t.conductor with
   | Some c -> c
   | None ->
-      let lookahead =
+      let engines = Array.map (fun sh -> sh.sh_engine) t.shards in
+      let n = Array.length t.shards in
+      let global =
         Array.fold_left
           (fun acc sh -> Time.min acc (Sw_net.Network.min_latency sh.sh_network))
           Int64.max_int t.shards
       in
       let c =
-        Conductor.create ~parallel:t.parallel ~lookahead
-          (Array.map (fun sh -> sh.sh_engine) t.shards)
+        match t.lookahead_mode with
+        | `Global -> Conductor.create ~parallel:t.parallel ~lookahead:global engines
+        | `Pairwise ->
+            let matrix =
+              Array.init n (fun j ->
+                  Sw_net.Network.min_latency_to t.shards.(j).sh_network
+                    ~locate:(locate t j) ~self:j ~shards:n)
+            in
+            Conductor.create ~parallel:t.parallel ~matrix ~lookahead:global
+              engines
       in
       t.conductor <- Some c;
       c

@@ -20,18 +20,27 @@ type deployment
 
     With one shard this is the historical construction — one engine, one
     fabric, one ingress/egress pair — byte-identical to pre-shard builds.
-    With [shards >= 2] the machines are split into contiguous blocks, one
-    block per shard; each shard gets its own engine (and metric registry),
+    With [shards >= 2] the machines are split across shards by
+    [partition]: [`Contiguous] (the default) cuts contiguous machine
+    blocks, [`Affinity assign] adopts an explicit machine-to-shard map —
+    typically {!Sw_placement.Affinity}'s plan, which packs
+    heavily-communicating cells co-shard (every machine mapped, shard
+    indices in range; replica-group atomicity is enforced at {!deploy}
+    as always). Each shard gets its own engine (and metric registry),
     network fabric, and ingress/egress pair, and {!run} drives the shards
     concurrently (one OCaml domain each; [parallel:false] runs the same
     windowed protocol round-robin, byte-identical; the default picks the
     round-robin driver when the host reports a single core, where a
     domain gang could only time-slice) under conservative lookahead
-    synchronisation — see {!Sw_sim.Conductor}. Replica groups
-    must not cross shard blocks ({!deploy} enforces this), and per-link
-    PRNG streams are key-derived so results do not depend on the
-    partition; DESIGN.md "Sharded simulation" states the exact determinism
-    contract. {!attach_trace} and {!install_faults} are single-shard-only.
+    synchronisation — see {!Sw_sim.Conductor}. [lookahead] picks how the
+    conductor's bound is computed: [`Pairwise] (default) builds a
+    per-shard-pair matrix from each fabric's
+    {!Sw_net.Network.min_latency_to}, [`Global] the legacy single
+    worst-case scalar. Neither partition nor lookahead mode can change
+    results: per-link PRNG streams are key-derived so no draw depends on
+    the partition; DESIGN.md "Sharded simulation" states the exact
+    determinism contract. {!attach_trace} and {!install_faults} are
+    single-shard-only.
 
     [rate_spread] gives each machine a uniformly drawn execution-speed
     multiplier in [1 ± rate_spread] (heterogeneous hardware; replicas then
@@ -49,6 +58,8 @@ val create :
   ?profile:Sw_obs.Profile.t ->
   ?shards:int ->
   ?parallel:bool ->
+  ?partition:[ `Contiguous | `Affinity of int array ] ->
+  ?lookahead:[ `Global | `Pairwise ] ->
   machines:int ->
   unit ->
   t
@@ -146,6 +157,21 @@ val shard_of : deployment -> int
     hosts owned by other shards take the cross-shard path. *)
 val add_host :
   t -> ?link:Sw_net.Network.link_params -> ?shard:int -> unit -> Host.t
+
+(** [set_pair_link t ~src ~dst params] overrides the directed link
+    [src -> dst] on the fabric of the shard owning [src] — the only fabric
+    that prices sends from [src], so unlike a host's access link the
+    override is not mirrored. Use it for intra-shard fast paths (e.g. a
+    rack-local replica interconnect below the fabric default): because it
+    stays off every other fabric, it never drags another shard pair's
+    lookahead floor down with it. Install before traffic first crosses the
+    pair (link parameters are latched at first use). *)
+val set_pair_link :
+  t ->
+  src:Sw_net.Address.t ->
+  dst:Sw_net.Address.t ->
+  Sw_net.Network.link_params ->
+  unit
 
 (** [start_background t ~rate_per_s ~size ()] emits ARP-like broadcast noise:
     Poisson arrivals addressed to every deployed VM (replicated through the

@@ -274,6 +274,38 @@ let min_latency t =
   Addr_tbl.iter (fun _ p -> consider p) t.node_overrides;
   !best
 
+(* Per-destination-shard latency floors, for a conductor's lookahead
+   matrix. A hop from this network into shard [d <> self] can only be
+   priced by the default, a pair override whose delivery target locates to
+   [d], a node override on a target in [d], or a node override on one of
+   this shard's own nodes (src side — it can price a hop to any shard).
+   Overrides on intra-shard pairs — targets locating to [self] — never
+   carry cross-shard traffic and are excluded, which is the whole point:
+   a fast rack-local link must not shrink every pair's window. Jitter,
+   serialization, FIFO ordering, and fault disturbances only add delay, so
+   the propagation latency is a sound lower bound. *)
+let min_latency_to t ~locate ~self ~shards =
+  let floor = Array.make shards t.default.latency in
+  let src_floor = ref t.default.latency in
+  Addr_tbl.iter
+    (fun addr p ->
+      let sh = locate addr in
+      if sh = self then begin
+        if Time.(p.latency < !src_floor) then src_floor := p.latency
+      end
+      else if Time.(p.latency < floor.(sh)) then floor.(sh) <- p.latency)
+    t.node_overrides;
+  Pair_tbl.iter
+    (fun (_, dst) p ->
+      let sh = locate dst in
+      if sh <> self && Time.(p.latency < floor.(sh)) then
+        floor.(sh) <- p.latency)
+    t.link_overrides;
+  Array.iteri
+    (fun d v -> if d <> self && Time.(!src_floor < v) then floor.(d) <- !src_floor)
+    floor;
+  floor
+
 let send t (pkt : Packet.t) =
   match pkt.dst with
   | Address.Broadcast_addr ->

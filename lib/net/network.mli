@@ -110,8 +110,19 @@ val set_remote :
 val inject : t -> target:Address.t -> Packet.t -> unit
 
 (** Minimum propagation latency over the default and every installed
-    override — this network's contribution to a conductor's lookahead. *)
+    override — this network's contribution to a global-minimum conductor
+    lookahead. *)
 val min_latency : t -> Sw_sim.Time.t
+
+(** [min_latency_to t ~locate ~self ~shards] refines {!min_latency} per
+    destination shard: element [d] is the smallest propagation latency any
+    hop from this network (shard [self]) into shard [d] could see, i.e.
+    this network's row of a conductor's lookahead matrix. Overrides whose
+    delivery target locates to [self] are intra-shard and excluded (a
+    node override on one of [self]'s own nodes still applies source-side,
+    to every destination); element [self] is the plain default. *)
+val min_latency_to :
+  t -> locate:(Address.t -> int) -> self:int -> shards:int -> Sw_sim.Time.t array
 
 (** [send t pkt] delivers [pkt] (unless lost) after the link delay. Packets
     to {!Address.Broadcast_addr} go to every registered handler except the

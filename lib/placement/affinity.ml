@@ -1,0 +1,158 @@
+(* Placement-aware shard partitioning: pack chatty cells co-shard.
+
+   The input is a cell-level traffic graph (cells are the partition atoms —
+   one replica group plus its client hosts — so replica groups can never be
+   split by construction). Partitioning is two deterministic greedy passes:
+
+   1. Clustering: walk the edges heaviest-first and union the endpoint
+      clusters whenever the merged size stays within the balance bound
+      [ceil (cells / shards)] — a Kruskal-style pass that swallows the
+      heaviest traffic inside clusters.
+   2. Packing: place clusters largest-first into the emptiest-fitting shard
+      (first fit over shards in index order). A cluster that no shard can
+      hold whole — pure bin-packing fragmentation, the bound guarantees the
+      total always fits — is split cell by cell onto the least-loaded
+      shard, so the balance bound holds unconditionally.
+
+   Every tie (equal edge weights, equal cluster sizes, equal loads) breaks
+   on the lower cell/shard index, so the plan is a pure function of the
+   graph — the determinism contract the sharded cloud needs. *)
+
+type edge = { a : int; b : int; weight : float }
+type graph = { cells : int; edges : edge list }
+
+type plan = {
+  shards : int;
+  shard_of_cell : int array;
+  cut_weight : float;
+  total_weight : float;
+  moved_cells : int;
+}
+
+let contiguous ~cells ~shards =
+  let shards = if shards > cells then cells else shards in
+  let base = cells / shards and rem = cells mod shards in
+  let assign = Array.make cells 0 in
+  let c = ref 0 in
+  for s = 0 to shards - 1 do
+    let size = base + if s < rem then 1 else 0 in
+    for _ = 1 to size do
+      assign.(!c) <- s;
+      incr c
+    done
+  done;
+  assign
+
+let check_graph g =
+  if g.cells < 1 then invalid_arg "Affinity: graph needs at least one cell";
+  List.iter
+    (fun e ->
+      if e.a < 0 || e.a >= g.cells || e.b < 0 || e.b >= g.cells then
+        invalid_arg "Affinity: edge endpoint out of range";
+      if e.weight < 0. then invalid_arg "Affinity: edge weight must be >= 0")
+    g.edges
+
+let cut_weight g assign =
+  check_graph g;
+  if Array.length assign <> g.cells then
+    invalid_arg "Affinity.cut_weight: assignment length <> cells";
+  List.fold_left
+    (fun acc e ->
+      if e.a <> e.b && assign.(e.a) <> assign.(e.b) then acc +. e.weight
+      else acc)
+    0. g.edges
+
+let total_weight g =
+  List.fold_left (fun acc e -> if e.a <> e.b then acc +. e.weight else acc) 0. g.edges
+
+(* Union-find keyed so that the representative is always the smallest cell
+   id in the cluster — path-independent, hence deterministic. *)
+let find parent c =
+  let rec root c = if parent.(c) = c then c else root parent.(c) in
+  let r = root c in
+  let rec compress c =
+    if parent.(c) <> r then begin
+      let next = parent.(c) in
+      parent.(c) <- r;
+      compress next
+    end
+  in
+  compress c;
+  r
+
+let partition g ~shards =
+  check_graph g;
+  if shards < 1 then invalid_arg "Affinity.partition: shards must be >= 1";
+  let cells = g.cells in
+  let shards = if shards > cells then cells else shards in
+  let cap = (cells + shards - 1) / shards in
+  (* Pass 1: cluster under the balance bound, heaviest edges first. *)
+  let parent = Array.init cells Fun.id in
+  let size = Array.make cells 1 in
+  let edges =
+    List.sort
+      (fun x y ->
+        let c = compare y.weight x.weight in
+        if c <> 0 then c
+        else
+          let c = compare x.a y.a in
+          if c <> 0 then c else compare x.b y.b)
+      (List.filter (fun e -> e.a <> e.b) g.edges)
+  in
+  List.iter
+    (fun e ->
+      let ra = find parent e.a and rb = find parent e.b in
+      if ra <> rb && size.(ra) + size.(rb) <= cap then begin
+        let keep = if ra < rb then ra else rb in
+        let drop = if ra < rb then rb else ra in
+        parent.(drop) <- keep;
+        size.(keep) <- size.(keep) + size.(drop)
+      end)
+    edges;
+  (* Gather clusters as (size, min cell, members-in-id-order). *)
+  let members = Hashtbl.create 64 in
+  for c = cells - 1 downto 0 do
+    let r = find parent c in
+    let tail = match Hashtbl.find_opt members r with Some l -> l | None -> [] in
+    Hashtbl.replace members r (c :: tail)
+  done;
+  let clusters =
+    Hashtbl.fold (fun r l acc -> (List.length l, r, l) :: acc) members []
+    |> List.sort (fun (sx, rx, _) (sy, ry, _) ->
+           let c = compare sy sx in
+           if c <> 0 then c else compare rx ry)
+  in
+  (* Pass 2: first-fit-decreasing under the cap; fragmented leftovers go
+     cell by cell onto the least-loaded shard. *)
+  let load = Array.make shards 0 in
+  let assign = Array.make cells (-1) in
+  let place_cell c =
+    let best = ref 0 in
+    for s = 1 to shards - 1 do
+      if load.(s) < load.(!best) then best := s
+    done;
+    assign.(c) <- !best;
+    load.(!best) <- load.(!best) + 1
+  in
+  List.iter
+    (fun (sz, _, members) ->
+      let fit = ref (-1) in
+      for s = shards - 1 downto 0 do
+        if load.(s) + sz <= cap then fit := s
+      done;
+      match !fit with
+      | -1 -> List.iter place_cell members
+      | s ->
+          List.iter (fun c -> assign.(c) <- s) members;
+          load.(s) <- load.(s) + sz)
+    clusters;
+  let base = contiguous ~cells ~shards in
+  let moved = ref 0 in
+  Array.iteri (fun c s -> if base.(c) <> s then incr moved) assign;
+  {
+    shards;
+    shard_of_cell = assign;
+    cut_weight = cut_weight g assign;
+    total_weight = total_weight g;
+    moved_cells = !moved;
+  }

@@ -1,175 +1,452 @@
 (* Conservative windowed coordination of per-shard engines. See the .mli
    for the protocol and the determinism argument.
 
-   Synchronisation is one mutex + condvar phase barrier. The main domain
-   publishes (epoch, window end) and workers run their shard and report
-   back; outbox/inbox arrays are indexed so that each cell has exactly one
-   writer per phase, and every cross-phase handoff is ordered by the
-   barrier mutex, so there are no data races and — more importantly — no
-   scheduling-dependent orders anywhere. *)
+   The hot path is built around three ideas:
 
-type msg = { at : Time.t; src : int; seq : int; fn : unit -> unit }
+   - A per-shard-pair lookahead matrix: shard [i]'s next window runs to
+     [min over j <> i of (horizon j + L(j,i))] (capped at [until]), where
+     [L(j,i)] is the smallest latency any link from shard [j] can impose
+     on a hop into shard [i]. Well-separated shard pairs contribute wide
+     bounds, so shards synchronise at the cadence of their *actual*
+     neighbours instead of the global worst case. The uniform-lookahead
+     conductor of old is the special case of a constant matrix. Safety:
+     a message posted by [j] departs at or after [horizon j], so it
+     arrives at or after [horizon j + L(j,i)], which is at or after every
+     window end it could be asked to beat. Progress: the least-advanced
+     shard's bound strictly exceeds its horizon, so every round moves the
+     frontier by at least the smallest matrix entry.
+
+   - A hybrid sense barrier on atomics: the main domain publishes a round
+     by bumping the [go] epoch; workers spin briefly on it (with
+     [Domain.cpu_relax]) and fall back to a condition variable when the
+     window is long or the box is oversubscribed — on a single-core host
+     the gang would otherwise spin through its whole timeslice. Arrival
+     is a fetch-and-add; the last worker signals the main domain only if
+     it is actually asleep. All handoffs are (SC) atomics or mutex-ordered,
+     and all non-atomic fields keep exactly one writer per phase.
+
+   - Pooled, allocation-free exchange: outboxes and inboxes are growable
+     arrays of mutable message records reused window after window. Each
+     per-(src,dst) run is sorted in place (skipped when already sorted,
+     the common case — arrivals from one source are mostly monotone) and
+     the destination's inbox is filled by a k-way merge of the source
+     runs. Field values are copied into destination-owned records: the
+     source pool is reused next window, so sharing records would race. *)
+
+type msg = {
+  mutable at : Time.t;
+  mutable src : int;
+  mutable seq : int;
+  mutable fn : unit -> unit;
+}
+
+let nop () = ()
+
+(* A growable pool of message records; [data] slots beyond [len] are live
+   records waiting to be reused. *)
+type buf = { mutable data : msg array; mutable len : int }
+
+let fresh_msg () = { at = Time.zero; src = 0; seq = 0; fn = nop }
+let buf_make () = { data = [||]; len = 0 }
+
+let buf_reserve b extra =
+  let need = b.len + extra in
+  let cap = Array.length b.data in
+  if need > cap then begin
+    let cap' = max need (max 8 (2 * cap)) in
+    let data = Array.make cap' (fresh_msg ()) in
+    Array.blit b.data 0 data 0 cap;
+    for k = max cap 1 to cap' - 1 do
+      data.(k) <- fresh_msg ()
+    done;
+    if cap = 0 then data.(0) <- fresh_msg ();
+    b.data <- data
+  end
+
+let buf_push b ~at ~src ~seq ~fn =
+  buf_reserve b 1;
+  let m = b.data.(b.len) in
+  m.at <- at;
+  m.src <- src;
+  m.seq <- seq;
+  m.fn <- fn;
+  b.len <- b.len + 1
 
 (* The exchange total order: (arrival, source shard, source sequence).
    Within one source, [seq] is post order; across sources the shard index
    breaks ties at identical nanosecond instants deterministically. *)
-let compare_msg a b =
-  let c = Time.compare a.at b.at in
-  if c <> 0 then c
-  else
-    let c = compare a.src b.src in
-    if c <> 0 then c else compare a.seq b.seq
+let before_in_run x y =
+  let c = Time.compare x.at y.at in
+  c < 0 || (c = 0 && x.seq < y.seq)
+
+(* In-place heapsort of [b.data.(0 .. len-1)] by (at, seq) — (at, seq) is
+   unique within a run, so stability is moot. Only called on the rare run
+   that arrives out of order. *)
+let sort_run b =
+  let a = b.data and n = b.len in
+  let sift root limit =
+    let root = ref root in
+    let continue = ref true in
+    while !continue do
+      let child = (2 * !root) + 1 in
+      if child >= limit then continue := false
+      else begin
+        let child =
+          if child + 1 < limit && before_in_run a.(child) a.(child + 1) then
+            child + 1
+          else child
+        in
+        if before_in_run a.(!root) a.(child) then begin
+          let tmp = a.(!root) in
+          a.(!root) <- a.(child);
+          a.(child) <- tmp;
+          root := child
+        end
+        else continue := false
+      end
+    done
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift i n
+  done;
+  for last = n - 1 downto 1 do
+    let tmp = a.(0) in
+    a.(0) <- a.(last);
+    a.(last) <- tmp;
+    sift 0 last
+  done
+
+let run_sorted b =
+  let sorted = ref true in
+  let k = ref 1 in
+  while !sorted && !k < b.len do
+    if before_in_run b.data.(!k) b.data.(!k - 1) then sorted := false;
+    incr k
+  done;
+  !sorted
 
 (* Everything a [t] holds between [run] calls is plain marshalable data —
-   engines, boxes, counters, times. The mutex/condvar barrier and its
-   bookkeeping live in a [gang] built afresh for each parallel [run] call
-   and torn down before it returns, so a quiescent conductor can be
-   captured by [Marshal] (checkpointing marshals whole clouds, conductor
-   included) without ever reaching an unmarshalable custom block. *)
+   engines, pools, counters, times, metric handles. The atomic/mutex
+   barrier and its bookkeeping live in a [gang] built afresh for each
+   parallel [run] call and torn down before it returns, so a quiescent
+   conductor can be captured by [Marshal] (checkpointing marshals whole
+   clouds, conductor included) without ever reaching an unmarshalable
+   custom block. *)
 type t = {
   engines : Engine.t array;
-  lookahead : Time.t;
+  matrix : Time.t array array;  (* matrix.(src).(dst); diagonal unused *)
   parallel : bool;
-  mutable now : Time.t;  (* start of the current window *)
-  mutable window_end : Time.t;
-  outbox : msg list array array;  (* outbox.(src).(dst), newest first *)
+  horizon : Time.t array;  (* per-shard committed simulation time *)
+  window_end : Time.t array;  (* per-shard target of the current round *)
+  outbox : buf array array;  (* outbox.(src).(dst) *)
   post_seq : int array;  (* per-source post counter, source-domain-local *)
-  inbox : msg list array;  (* per-destination, sorted, injected at window start *)
+  inbox : buf array;  (* per-destination, merge-sorted at the barrier *)
+  merge_head : int array;  (* scratch cursor per source during the merge *)
   mutable exchanged : int;
+  (* sim.shard instruments, registered on shard 0's registry: the sim
+     namespace sits outside every byte-compared section, and they are
+     written only by the driving domain at the barrier. *)
+  m_windows : Sw_obs.Registry.Counter.t;
+  m_barrier_wait : Sw_obs.Registry.Histogram.t;
+  m_exchanged : Sw_obs.Registry.Counter.t array;  (* flat n*n, src*n + dst *)
 }
 
-(* The per-[run] domain gang barrier. *)
+(* The per-[run] domain gang. [go] counts released rounds (workers run a
+   round when [go] moves past what they have seen); [arrived] counts
+   workers done with the round; [sleepers]/[main_waiting] tell the other
+   side whether a condvar signal is needed at all. *)
 type gang = {
-  m : Mutex.t;
-  cv : Condition.t;
-  mutable epoch : int;  (* bumped to release workers into a window *)
-  mutable quit : bool;
-  mutable arrived : int;  (* workers done with the current window *)
-  mutable failed : exn option;  (* first worker failure, re-raised by main *)
+  go : int Atomic.t;
+  quit : bool Atomic.t;
+  arrived : int Atomic.t;
+  sleepers : int Atomic.t;
+  main_waiting : bool Atomic.t;
+  failed : exn option Atomic.t;
+  lock : Mutex.t;
+  worker_cv : Condition.t;  (* workers sleep here for the next [go] *)
+  main_cv : Condition.t;  (* main sleeps here for the last arrival *)
 }
 
-let create ?(parallel = true) ~lookahead engines =
+(* Spin this many [cpu_relax] rounds before sleeping: long enough to catch
+   a same-cadence peer, short enough not to burn a timeslice when the
+   shards are imbalanced or the box has fewer cores than shards. *)
+let spin_budget = 4096
+
+let create ?(parallel = true) ?matrix ~lookahead engines =
   let n = Array.length engines in
   if n = 0 then invalid_arg "Conductor.create: no shards";
-  if n > 1 && Time.(lookahead <= Time.zero) then
-    invalid_arg "Conductor.create: lookahead must be positive";
+  let matrix =
+    match matrix with
+    | None ->
+        if n > 1 && Time.(lookahead <= Time.zero) then
+          invalid_arg "Conductor.create: lookahead must be positive";
+        Array.make_matrix n n lookahead
+    | Some m ->
+        if Array.length m <> n then
+          invalid_arg "Conductor.create: lookahead matrix must be n x n";
+        Array.init n (fun i ->
+            if Array.length m.(i) <> n then
+              invalid_arg "Conductor.create: lookahead matrix must be n x n";
+            Array.init n (fun j ->
+                if i <> j && Time.(m.(i).(j) <= Time.zero) then
+                  invalid_arg
+                    "Conductor.create: lookahead matrix entries must be \
+                     positive off the diagonal";
+                m.(i).(j)))
+  in
+  let registry = Engine.metrics engines.(0) in
+  (* Diagonal exchange counters can never tick; park them in a throwaway
+     registry so shard 0's snapshots only carry real pairs. *)
+  let scratch = Sw_obs.Registry.create () in
+  let m_exchanged =
+    Array.init (n * n) (fun k ->
+        let src = k / n and dst = k mod n in
+        if src = dst then Sw_obs.Registry.counter scratch "sim.shard.unused"
+        else
+          Sw_obs.Registry.counter registry
+            (Printf.sprintf "sim.shard.exchanged.s%d.s%d" src dst))
+  in
   {
     engines;
-    lookahead;
+    matrix;
     parallel;
-    now = Time.zero;
-    window_end = Time.zero;
-    outbox = Array.init n (fun _ -> Array.make n []);
+    horizon = Array.make n Time.zero;
+    window_end = Array.make n Time.zero;
+    outbox = Array.init n (fun _ -> Array.init n (fun _ -> buf_make ()));
     post_seq = Array.make n 0;
-    inbox = Array.make n [];
+    inbox = Array.init n (fun _ -> buf_make ());
+    merge_head = Array.make n 0;
     exchanged = 0;
+    m_windows = Sw_obs.Registry.counter registry "sim.shard.windows";
+    m_barrier_wait = Sw_obs.Registry.histogram registry "sim.shard.barrier_wait_ns";
+    m_exchanged;
   }
 
 let shards t = Array.length t.engines
 let exchanged t = t.exchanged
+let lookahead t ~src ~dst = t.matrix.(src).(dst)
 
 let post t ~src ~dst ~at fn =
-  if Time.(at < t.window_end) then
+  if Time.(at < t.window_end.(dst)) then
     invalid_arg
       (Format.asprintf
-         "Conductor.post: arrival %a is inside the current window (ends %a); \
-          lookahead violated"
-         Time.pp at Time.pp t.window_end);
+         "Conductor.post: lookahead violated on shard %d -> shard %d: \
+          arrival %a precedes the destination window end %a"
+         src dst Time.pp at Time.pp t.window_end.(dst));
   let seq = t.post_seq.(src) in
   t.post_seq.(src) <- seq + 1;
-  t.outbox.(src).(dst) <- { at; src; seq; fn } :: t.outbox.(src).(dst)
+  buf_push t.outbox.(src).(dst) ~at ~src ~seq ~fn
 
-(* Drive shard [i] through one window: inject the sorted inbox, then run
-   the engine to the window end (parking exactly there). *)
-let run_shard t i limit =
+(* Drive shard [i] through one round: inject the merged inbox, then run the
+   engine to the round's window end (parking exactly there). Skipped
+   entirely when the shard has nothing to do — no injections and no time
+   to cover. *)
+let run_shard t i =
+  let b = t.inbox.(i) in
   let eng = t.engines.(i) in
-  List.iter
-    (fun m -> ignore (Engine.schedule_at ~kind:"xshard" eng m.at m.fn))
-    t.inbox.(i);
-  t.inbox.(i) <- [];
-  Engine.run ~until:limit eng
+  if b.len > 0 then begin
+    for k = 0 to b.len - 1 do
+      let m = b.data.(k) in
+      ignore (Engine.schedule_at ~kind:"xshard" eng m.at m.fn);
+      m.fn <- nop
+    done;
+    b.len <- 0;
+    Engine.run ~until:t.window_end.(i) eng
+  end
+  else if Time.(t.window_end.(i) > t.horizon.(i)) then
+    Engine.run ~until:t.window_end.(i) eng
 
-(* Move every outbox into its destination inbox, sorted by the exchange
-   order. Runs on the main domain while workers are parked at the barrier. *)
+(* Merge every source's outbox run into its destination inbox, in the
+   exchange total order. Runs on the driving domain while workers are
+   parked at the barrier. *)
 let exchange t =
   let n = Array.length t.engines in
   for d = 0 to n - 1 do
-    let msgs = ref [] in
+    let total = ref 0 in
     for s = 0 to n - 1 do
-      msgs := List.rev_append t.outbox.(s).(d) !msgs;
-      t.outbox.(s).(d) <- []
+      let run = t.outbox.(s).(d) in
+      if run.len > 0 then begin
+        if not (run_sorted run) then sort_run run;
+        Sw_obs.Registry.Counter.add t.m_exchanged.((s * n) + d) run.len;
+        total := !total + run.len
+      end;
+      t.merge_head.(s) <- 0
     done;
-    match !msgs with
-    | [] -> ()
-    | l ->
-        t.exchanged <- t.exchanged + List.length l;
-        t.inbox.(d) <- List.sort compare_msg l
+    if !total > 0 then begin
+      t.exchanged <- t.exchanged + !total;
+      let inbox = t.inbox.(d) in
+      buf_reserve inbox !total;
+      for _ = 1 to !total do
+        (* Smallest (at, src, seq) among the source runs' heads; [src]
+           ascending scan breaks at-ties toward the lower shard for free. *)
+        let best = ref (-1) in
+        for s = 0 to n - 1 do
+          let run = t.outbox.(s).(d) in
+          if t.merge_head.(s) < run.len then
+            if
+              !best = -1
+              ||
+              let m = run.data.(t.merge_head.(s)) in
+              Time.(m.at < t.outbox.(!best).(d).data.(t.merge_head.(!best)).at)
+            then best := s
+        done;
+        let s = !best in
+        let m = t.outbox.(s).(d).data.(t.merge_head.(s)) in
+        t.merge_head.(s) <- t.merge_head.(s) + 1;
+        let slot = inbox.data.(inbox.len) in
+        slot.at <- m.at;
+        slot.src <- m.src;
+        slot.seq <- m.seq;
+        slot.fn <- m.fn;
+        (* Source slots are reused next window; drop the closure now so the
+           pool never retains a dead environment. *)
+        m.fn <- nop;
+        inbox.len <- inbox.len + 1
+      done;
+      for s = 0 to n - 1 do
+        t.outbox.(s).(d).len <- 0
+      done
+    end
   done
 
-(* Worker for shard [i]: wait for an epoch bump, run the window (or quit),
-   report arrival. All conductor fields read outside the mutex are written
-   by the main domain before the epoch bump and stable until every worker
-   has arrived, so the barrier's lock ordering covers them. The gang is
-   fresh for this [run] call with [epoch = 0], and workers are spawned
-   before the first bump, so epoch 0 is always the already-seen state. *)
-let worker t g i =
-  let rec loop seen =
-    Mutex.lock g.m;
-    while g.epoch = seen && not g.quit do
-      Condition.wait g.cv g.m
+(* Compute the next round's per-shard window ends from the current
+   horizons: shard [i] may run to the earliest instant any other shard
+   could still reach it, capped at [until]. *)
+let plan_round t ~until =
+  let n = Array.length t.engines in
+  for i = 0 to n - 1 do
+    let lim = ref until in
+    for j = 0 to n - 1 do
+      if j <> i then begin
+        let bound = Time.add t.horizon.(j) t.matrix.(j).(i) in
+        if Time.(bound < !lim) then lim := bound
+      end
     done;
-    let quit = g.quit and epoch = g.epoch in
-    Mutex.unlock g.m;
-    if not quit then begin
-      (* A failure must still reach the barrier, or the main domain waits
-         forever; it is recorded and re-raised over there. *)
-      let failure =
-        match run_shard t i t.window_end with
-        | () -> None
-        | exception e -> Some e
-      in
-      Mutex.lock g.m;
-      (match (failure, g.failed) with
-      | Some e, None -> g.failed <- Some e
-      | _ -> ());
-      g.arrived <- g.arrived + 1;
-      if g.arrived = Array.length t.engines - 1 then Condition.broadcast g.cv;
-      Mutex.unlock g.m;
-      if Option.is_none failure then loop epoch
-    end
+    t.window_end.(i) <- Time.max t.horizon.(i) !lim
+  done
+
+let behind t ~until =
+  let n = Array.length t.engines in
+  let rec go i = i < n && (Time.(t.horizon.(i) < until) || go (i + 1)) in
+  go 0
+
+let commit_round t =
+  Array.blit t.window_end 0 t.horizon 0 (Array.length t.horizon)
+
+(* Worker for shard [i]: spin (then sleep) for the next [go] epoch, run the
+   round, report arrival. All conductor fields read outside the atomics are
+   written by the main domain before the [go] bump and stable until every
+   worker has arrived, so the epoch handoff publishes them (plain writes
+   are visible across an SC-atomic release/acquire pair). *)
+let worker t g i =
+  let n = Array.length t.engines in
+  let await seen =
+    let rec spin k =
+      let e = Atomic.get g.go in
+      if e <> seen then Some e
+      else if Atomic.get g.quit then None
+      else if k < spin_budget then begin
+        Domain.cpu_relax ();
+        spin (k + 1)
+      end
+      else begin
+        Mutex.lock g.lock;
+        Atomic.incr g.sleepers;
+        let rec sleep () =
+          let e = Atomic.get g.go in
+          if e <> seen then Some e
+          else if Atomic.get g.quit then None
+          else begin
+            Condition.wait g.worker_cv g.lock;
+            sleep ()
+          end
+        in
+        let r = sleep () in
+        Atomic.decr g.sleepers;
+        Mutex.unlock g.lock;
+        r
+      end
+    in
+    spin 0
+  in
+  let rec loop seen =
+    match await seen with
+    | None -> ()
+    | Some epoch ->
+        (* A failure must still reach the barrier, or the main domain waits
+           forever; it is recorded and re-raised over there. *)
+        let failure =
+          match run_shard t i with () -> None | exception e -> Some e
+        in
+        (match failure with
+        | Some e -> ignore (Atomic.compare_and_set g.failed None (Some e))
+        | None -> ());
+        let prior = Atomic.fetch_and_add g.arrived 1 in
+        if prior = n - 2 && Atomic.get g.main_waiting then begin
+          Mutex.lock g.lock;
+          Condition.signal g.main_cv;
+          Mutex.unlock g.lock
+        end;
+        if failure = None then loop epoch
   in
   loop 0
 
-let run_windows t ~until ~each =
-  while Time.(t.now < until) do
-    let limit = Time.min (Time.add t.now t.lookahead) until in
-    t.window_end <- limit;
-    each limit;
-    exchange t;
-    t.now <- limit
-  done
+(* Main-domain side of the barrier: spin for the stragglers, then sleep.
+   The wait (spin and sleep alike) is the barrier tax the instrumentation
+   reports — wall clock, so strictly a [sim.*] metric. *)
+let await_workers t g =
+  let n = Array.length t.engines in
+  let t0 = Wall.now_s () in
+  let rec spin k =
+    if Atomic.get g.arrived < n - 1 then
+      if k < spin_budget then begin
+        Domain.cpu_relax ();
+        spin (k + 1)
+      end
+      else begin
+        Mutex.lock g.lock;
+        Atomic.set g.main_waiting true;
+        while Atomic.get g.arrived < n - 1 do
+          Condition.wait g.main_cv g.lock
+        done;
+        Atomic.set g.main_waiting false;
+        Mutex.unlock g.lock
+      end
+  in
+  spin 0;
+  Sw_obs.Registry.Histogram.observe t.m_barrier_wait
+    (Int64.of_float ((Wall.now_s () -. t0) *. 1e9))
 
 let run t ~until =
   let n = Array.length t.engines in
   if n = 1 then begin
     (* One shard: no windows, no barriers — exactly the legacy loop. *)
     Engine.run ~until t.engines.(0);
-    t.now <- Time.max t.now until
+    t.horizon.(0) <- Time.max t.horizon.(0) until;
+    t.window_end.(0) <- t.horizon.(0)
   end
   else if not t.parallel then
-    run_windows t ~until ~each:(fun limit ->
-        for i = 0 to n - 1 do
-          run_shard t i limit
-        done)
+    while behind t ~until do
+      plan_round t ~until;
+      Sw_obs.Registry.Counter.incr t.m_windows;
+      for i = 0 to n - 1 do
+        run_shard t i
+      done;
+      exchange t;
+      commit_round t
+    done
   else begin
     let g =
       {
-        m = Mutex.create ();
-        cv = Condition.create ();
-        epoch = 0;
-        quit = false;
-        arrived = 0;
-        failed = None;
+        go = Atomic.make 0;
+        quit = Atomic.make false;
+        arrived = Atomic.make 0;
+        sleepers = Atomic.make 0;
+        main_waiting = Atomic.make false;
+        failed = Atomic.make None;
+        lock = Mutex.create ();
+        worker_cv = Condition.create ();
+        main_cv = Condition.create ();
       }
     in
     let domains =
@@ -177,26 +454,28 @@ let run t ~until =
     in
     Fun.protect
       ~finally:(fun () ->
-        Mutex.lock g.m;
-        g.quit <- true;
-        Condition.broadcast g.cv;
-        Mutex.unlock g.m;
+        Atomic.set g.quit true;
+        Mutex.lock g.lock;
+        Condition.broadcast g.worker_cv;
+        Mutex.unlock g.lock;
         Array.iter Domain.join domains)
       (fun () ->
-        run_windows t ~until ~each:(fun limit ->
-            Mutex.lock g.m;
-            g.arrived <- 0;
-            g.epoch <- g.epoch + 1;
-            Condition.broadcast g.cv;
-            Mutex.unlock g.m;
-            run_shard t 0 limit;
-            Mutex.lock g.m;
-            while g.arrived < n - 1 do
-              Condition.wait g.cv g.m
-            done;
-            let failed = g.failed in
-            Mutex.unlock g.m;
-            (* Raising here trips the [finally]: quit is published and the
-               surviving workers join before the exception escapes. *)
-            match failed with Some e -> raise e | None -> ()))
+        while behind t ~until do
+          plan_round t ~until;
+          Sw_obs.Registry.Counter.incr t.m_windows;
+          Atomic.set g.arrived 0;
+          Atomic.incr g.go;
+          if Atomic.get g.sleepers > 0 then begin
+            Mutex.lock g.lock;
+            Condition.broadcast g.worker_cv;
+            Mutex.unlock g.lock
+          end;
+          run_shard t 0;
+          await_workers t g;
+          (* Raising here trips the [finally]: quit is published and the
+             surviving workers join before the exception escapes. *)
+          (match Atomic.get g.failed with Some e -> raise e | None -> ());
+          exchange t;
+          commit_round t
+        done)
   end

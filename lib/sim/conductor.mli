@@ -1,60 +1,86 @@
 (** Conservative parallel coordination of several {!Engine}s ("shards").
 
     A conductor owns an array of engines, one per shard, and drives them in
-    lockstep lookahead windows: every shard runs freely (on its own domain
-    when [parallel]) up to the window end, then all shards synchronise at a
+    lookahead rounds: every shard runs freely (on its own domain when
+    [parallel]) up to its own window end, then all shards synchronise at a
     barrier and exchange the timestamped cross-shard messages posted during
-    the window. The lookahead is the minimum latency of any link that can
-    carry traffic between shards, so a message posted inside window [W]
-    always arrives at or after the start of window [W+1] — no shard can
-    receive an event in its past, which is the whole conservative-PDES
-    argument.
+    the round.
 
-    {b Determinism.} Shard execution within a window touches no state
-    shared with other shards; the only inter-shard channel is {!post}. At
-    each barrier the conductor sorts every destination's inbox by
-    [(arrival, source shard, source sequence)] — a total order — and
-    injects in that order at the start of the next window, so the
+    {b Lookahead matrix.} The bound is per shard pair: [L(j,i)] is the
+    smallest latency any link can impose on a hop from shard [j] into
+    shard [i], and shard [i]'s next window runs to
+    [min over j <> i of (horizon j + L(j,i))]. A message posted by [j]
+    departs at or after [horizon j] and so arrives at or after
+    [horizon j + L(j,i)] — never inside a window already running. Shards
+    separated by slow links synchronise rarely; only genuinely close pairs
+    pay a tight cadence. A uniform matrix (the [~lookahead] scalar)
+    recovers the classic global-minimum protocol.
+
+    {b Determinism.} Shard execution within a round touches no state shared
+    with other shards; the only inter-shard channel is {!post}. At each
+    barrier the conductor merges every destination's inbox in
+    [(arrival, source shard, source sequence)] order — a total order — and
+    injects in that order at the start of the next round, so the
     destination engine's own [(time, seq)] tiebreak reproduces exactly the
     same firing order whatever the domain scheduling was, and the parallel
     and sequential drivers produce byte-identical simulations.
 
-    {b Domain ownership.} During a window, shard [i]'s engine (and
+    {b Domain ownership.} During a round, shard [i]'s engine (and
     everything hanging off it) is owned by the domain driving shard [i];
     [post] may only be called from that domain with [~src:i]. Between
-    windows (and outside {!run}) everything is owned by the caller. The
+    rounds (and outside {!run}) everything is owned by the caller. The
     worker gang is spawned at the start of each {!run} and joined before it
-    returns, so a conductor holds no threads while idle.
+    returns, so a conductor holds no threads while idle; the barrier is a
+    hybrid sense barrier (bounded spin on atomics, then a condvar sleep).
+
+    {b Instrumentation.} Rounds, barrier wait (wall-clock, parallel driver
+    only), and per-pair exchanged-message counts are recorded on shard 0's
+    registry under [sim.shard.windows], [sim.shard.barrier_wait_ns], and
+    [sim.shard.exchanged.s<i>.s<j>] — the [sim.*] namespace every
+    byte-comparison already excludes.
 
     {b Checkpointability.} A quiescent conductor (between {!run} calls) is
-    plain marshalable data: the barrier's mutex and condition variable
-    belong to the per-{!run} gang, never to [t], so [Marshal] with
-    closures captures a sharded cloud — pending cross-shard inboxes
+    plain marshalable data: the barrier's atomics, mutex and condition
+    variables belong to the per-{!run} gang, never to [t], so [Marshal]
+    with closures captures a sharded cloud — pending cross-shard inboxes
     included — without meeting an unmarshalable custom block. *)
 
 type t
 
-(** [create ?parallel ~lookahead engines] builds a conductor over the
-    shards [engines]. [lookahead] (a span) must be positive when there is
-    more than one shard. [parallel] (default [true]) selects the
+(** [create ?parallel ?matrix ~lookahead engines] builds a conductor over
+    the shards [engines]. [matrix.(j).(i)] bounds hops from shard [j] into
+    shard [i] (the diagonal is ignored); without [matrix], a uniform matrix
+    is built from the scalar [lookahead]. Off-diagonal entries (or
+    [lookahead], when it is the source) must be positive when there is more
+    than one shard. [parallel] (default [true]) selects the
     domain-per-shard driver; [false] runs the same windowed protocol
     round-robin on the calling domain — useful for differential tests,
     byte-identical by construction. *)
-val create : ?parallel:bool -> lookahead:Time.t -> Engine.t array -> t
+val create :
+  ?parallel:bool ->
+  ?matrix:Time.t array array ->
+  lookahead:Time.t ->
+  Engine.t array ->
+  t
 
 val shards : t -> int
 
 (** Cross-shard messages exchanged so far (across all barriers). *)
 val exchanged : t -> int
 
+(** The lookahead bound in force for [src -> dst] hops. *)
+val lookahead : t -> src:int -> dst:int -> Time.t
+
 (** [post t ~src ~dst ~at fn] queues [fn] for injection into shard [dst]'s
     engine at absolute time [at] (scheduled there under kind ["xshard"]).
-    Must be called from shard [src]'s domain, during a window. Raises
-    [Invalid_argument] when [at] precedes the end of the current window —
-    that would violate the lookahead contract. *)
+    Must be called from shard [src]'s domain, during a round. Raises
+    [Invalid_argument] — naming the source shard, destination shard,
+    arrival instant, and the destination's window end — when [at] precedes
+    the end of the destination's current window: that would violate the
+    lookahead contract. *)
 val post : t -> src:int -> dst:int -> at:Time.t -> (unit -> unit) -> unit
 
 (** [run t ~until] advances every shard to exactly [until] (each engine
-    parks there, as {!Engine.run}), window by window. May be called
-    repeatedly; windows resume where the previous call stopped. *)
+    parks there, as {!Engine.run}), round by round. May be called
+    repeatedly; rounds resume where the previous call stopped. *)
 val run : t -> until:Time.t -> unit

@@ -16,53 +16,44 @@ type stats = { patched : int; visited : int }
 let startenv_mask = (1 lsl (Sys.int_size - 8)) - 1
 let word_bytes = Sys.word_size / 8
 
-(* Physical-identity visited set. Keys are live values, so the table stays
-   correct across GC moves; the hash only reads data that is guaranteed to
-   be a value (immediate fields, environment fields of closures) and never
-   dereferences a potential code pointer. *)
+(* Physical-identity visited set, keyed by the block's ADDRESS.
+   Hashing *contents* is hopeless here: a restored cloud checkpointed at
+   t=0 is millions of physically distinct but bit-identical blocks —
+   zeroed boxed Int64 timestamps, [ref 0] counters, fresh per-host
+   records — and any content hash piles each such class into one bucket
+   chain where [==] fails all the way down, turning the walk quadratic
+   (restores that took seconds at 960 hosts ran for tens of minutes at
+   10k). The address is the one thing that separates physical twins.
+
+   Getting the address without ever materialising a mis-tagged value:
+   box the block in a fresh [ref] and read the pointer word back with
+   [Obj.raw_field], which returns it as a well-formed nativeint. (A bare
+   [Obj.magic] to [int] leaves a low-bit-0 word posing as an immediate —
+   that crashed under GC.) [Obj.raw_field] is an opaque C call, so the
+   box cannot be optimised away.
+
+   Address stability: {!repair} promotes the graph with [Gc.minor ()]
+   first, and OCaml 5's major heap is non-moving (compaction only happens
+   on an explicit [Gc.compact], which the walk never calls) — so keys are
+   stable while the table is live.
+
+   The hash must avalanche into the LOW bits: addresses are 8-aligned and
+   sequentially allocated, and [Hashtbl] masks the hash with
+   [num_buckets - 1], so an unmixed allocation run lands on an arithmetic
+   progression of buckets (stride sharing a big power of two with the
+   table size — measured chains of 700+ on a 250k-key table). Multiply by
+   a large odd constant and fold the high half down. *)
 module H = Hashtbl.Make (struct
-  type t = Obj.t
+  type t = nativeint
 
-  let equal = ( == )
+  let equal = Nativeint.equal
 
-  let hash o =
-    let tag = Obj.tag o in
-    if tag = Obj.string_tag then Hashtbl.hash (Obj.obj o : string)
-    else if tag = Obj.double_tag then Hashtbl.hash (Obj.obj o : float)
-    else begin
-      let size = Obj.size o in
-      let h = ref (tag lxor (size * 0x9e3779b1)) in
-      if tag < Obj.no_scan_tag then begin
-        let start =
-          if tag = Obj.closure_tag then
-            (Obj.obj (Obj.field o 1) : int) land startenv_mask
-          else 0
-        in
-        let stop = min size (start + 4) in
-        for i = start to stop - 1 do
-          let f = Obj.field o i in
-          if Obj.is_int f then h := (!h * 31) + (Obj.obj f : int)
-          else begin
-            (* One level into child blocks — enough to spread closures that
-               share code but capture different records. Children of a
-               non-closure parent are genuine values; only their first
-               field is inspected, and only when it is an immediate. *)
-            let t2 = Obj.tag f in
-            let mix =
-              if t2 < Obj.no_scan_tag && t2 <> Obj.closure_tag
-                 && t2 <> Obj.infix_tag && Obj.size f > 0
-              then
-                let g = Obj.field f 0 in
-                if Obj.is_int g then Obj.obj g else Obj.tag g
-              else Obj.size f
-            in
-            h := (!h * 31) + (t2 * 131) + mix
-          end
-        done
-      end;
-      !h land max_int
-    end
+  let hash a =
+    let h = Nativeint.to_int a * 0x2545F4914F6CDD1D in
+    (h lxor (h lsr 32)) land max_int
 end)
+
+let address (v : Obj.t) = Obj.raw_field (Obj.repr (ref v)) 0
 
 (* An extension-constructor slot: [Object_tag] block of exactly two fields,
    a name string and an id int. Real (camlinternalOO) objects carry a class
@@ -75,6 +66,9 @@ let is_slot f =
   && Obj.is_int (Obj.field f 1)
 
 let repair root =
+  (* Promote the freshly-unmarshaled graph out of the nursery so every
+     block the walk keys on sits in the non-moving major heap. *)
+  Gc.minor ();
   let visited = H.create 65536 in
   let stack = ref [ root ] in
   let patched = ref 0 in
@@ -92,8 +86,9 @@ let repair root =
               Obj.add_offset v (Int32.of_int (-(Obj.size v * word_bytes)))
             else v
           in
-          if not (H.mem visited v) then begin
-            H.add visited v ();
+          let a = address v in
+          if not (H.mem visited a) then begin
+            H.add visited a ();
             let tag = Obj.tag v in
             if tag < Obj.no_scan_tag then begin
               let size = Obj.size v in
@@ -115,7 +110,12 @@ let repair root =
                         end
                     | None -> unknown := name :: !unknown
                   end
-                  else stack := f :: !stack
+                  else if Obj.tag f < Obj.no_scan_tag then
+                    (* No-scan leaves (strings, boxed scalars, float
+                       arrays) have no fields to walk and cannot be
+                       slots — keep them out of the visited set, where
+                       they are the bulk of the graph. *)
+                    stack := f :: !stack
               done
             end
           end

@@ -21,7 +21,17 @@ type attack = {
 
 type attack_probe = { ping_rate_per_s : float }
 
-type topology = { hosts : int; shards : int; east_west_rate_per_s : float }
+type partition = Contiguous | Affinity
+
+type topology = {
+  hosts : int;
+  shards : int;
+  east_west_rate_per_s : float;
+  east_west_stride : int;
+  partition : partition;
+  replica_link_us : float option;
+  quantum_us : float option;
+}
 
 type workload = {
   seed : int64;
@@ -389,6 +399,23 @@ let workload_of_json path fields =
               shards = opt tf p "shards" ~default:1 as_int;
               east_west_rate_per_s =
                 opt tf p "east_west_rate_per_s" ~default:0. as_num;
+              east_west_stride = opt tf p "east_west_stride" ~default:1 as_int;
+              partition =
+                opt tf p "partition" ~default:Contiguous (fun pp v ->
+                    match as_str pp v with
+                    | "contiguous" -> Contiguous
+                    | "affinity" -> Affinity
+                    | s ->
+                        bad pp
+                          (Printf.sprintf
+                             {|unknown partition %S (want "contiguous" or "affinity")|}
+                             s));
+              replica_link_us =
+                opt tf p "replica_link_us" ~default:None (fun pp v ->
+                    Some (as_num pp v));
+              quantum_us =
+                opt tf p "quantum_us" ~default:None (fun pp v ->
+                    Some (as_num pp v));
             });
     load_multipliers =
       opt fields path "load_multipliers" ~default:[ 1. ] (fun p v ->
@@ -437,11 +464,26 @@ let workload_to_json (w : workload) =
         [
           ( "topology",
             Json.Object
-              [
-                ("hosts", Number (float_of_int t.hosts));
-                ("shards", Number (float_of_int t.shards));
-                ("east_west_rate_per_s", Number t.east_west_rate_per_s);
-              ] );
+              ([
+                 ("hosts", Json.Number (float_of_int t.hosts));
+                 ("shards", Json.Number (float_of_int t.shards));
+                 ("east_west_rate_per_s", Json.Number t.east_west_rate_per_s);
+                 ( "east_west_stride",
+                   Json.Number (float_of_int t.east_west_stride) );
+                 ( "partition",
+                   Json.String
+                     (match t.partition with
+                     | Contiguous -> "contiguous"
+                     | Affinity -> "affinity") );
+               ]
+              @
+              (match t.replica_link_us with
+              | None -> []
+              | Some us -> [ ("replica_link_us", Json.Number us) ])
+              @
+              match t.quantum_us with
+              | None -> []
+              | Some us -> [ ("quantum_us", Json.Number us) ]) );
         ])
   @ [ ("trace", Json.Bool w.trace); ("profile", Json.Bool w.profile) ]
 
@@ -593,6 +635,13 @@ let check_topology (w : workload) =
              (t.hosts / w.replicas) t.shards)
       else if t.east_west_rate_per_s < 0. then
         Error "topology.east_west_rate_per_s: must be >= 0"
+      else if t.east_west_stride < 1 then
+        Error "topology.east_west_stride: must be >= 1"
+      else if
+        match t.replica_link_us with Some us -> us <= 0. | None -> false
+      then Error "topology.replica_link_us: must be > 0"
+      else if match t.quantum_us with Some us -> us <= 0. | None -> false
+      then Error "topology.quantum_us: must be > 0"
       else if t.shards > 1 && w.faults <> [] then
         Error "topology: fault schedules are not supported on a sharded run"
       else if t.shards > 1 && w.trace then

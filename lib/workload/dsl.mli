@@ -43,13 +43,40 @@ type attack = {
     cache-asymmetry channel. *)
 type attack_probe = { ping_rate_per_s : float }
 
+(** How the shard partitioner assigns cells to shards: [Contiguous] cuts
+    static contiguous blocks, [Affinity] runs {!Sw_placement.Affinity}
+    over the cell traffic graph (east-west flows are the edge weights) so
+    chatty cells land co-shard. Either way the report bytes are identical
+    — the partition is an execution detail. *)
+type partition = Contiguous | Affinity
+
 (** Datacenter-scale topology: [hosts] machines carved into
     [hosts/replicas] service cells (one replica group + one client host +
     one east-west host each), simulated over [shards] conservative
     shards ({!Stopwatch.Cloud.create}'s [?shards]). [east_west_rate_per_s]
-    adds a low-rate flow from every cell toward the next cell (mod the
-    cell count) — genuine cross-shard traffic when shards > 1. *)
-type topology = { hosts : int; shards : int; east_west_rate_per_s : float }
+    adds a low-rate flow from every cell toward the cell
+    [east_west_stride] further on (mod the cell count; default 1, the
+    neighbour ring) — genuine cross-shard traffic when shards > 1, and
+    with a stride spanning contiguous blocks, exactly the chatty-but-
+    splittable pattern affinity partitioning repairs. [replica_link_us],
+    when set, gives every cell's intra-cell VMM pairs a fast rack-local
+    interconnect at that latency (zero jitter) below the 500 us fabric
+    default — the per-pair lookahead matrix keeps such links from
+    throttling cross-shard windows. [quantum_us], when set, overrides the
+    VMM scheduler quantum (default 200 us) for every machine in the
+    topology: 10k-host sweeps use a coarser quantum so simulation cost is
+    dominated by the traffic under study rather than by idle scheduler
+    slices. A fidelity knob, applied uniformly — shard count and partition
+    still never change the report bytes. *)
+type topology = {
+  hosts : int;
+  shards : int;
+  east_west_rate_per_s : float;
+  east_west_stride : int;
+  partition : partition;
+  replica_link_us : float option;
+  quantum_us : float option;
+}
 
 type workload = {
   seed : int64;

@@ -1,5 +1,6 @@
 module Time = Sw_sim.Time
 module Prng = Sw_sim.Prng
+module Affinity = Sw_placement.Affinity
 module Cloud = Stopwatch.Cloud
 module Host = Stopwatch.Host
 module Probe = Sw_apps.Probe
@@ -150,10 +151,33 @@ let prepare_single (w : Dsl.workload) =
   in
   { cloud; until = Time.add w.duration drain; finish }
 
+(* The cell-level communication graph of a topology scenario: one node per
+   service cell, one weighted edge per east-west flow (cell c talks to cell
+   (c + stride) mod cells at the configured rate). Intra-cell replica
+   traffic never appears — replica groups are partition atoms, so only
+   inter-cell edges can ever be cut. *)
+let traffic_graph (w : Dsl.workload) =
+  match w.Dsl.topology with
+  | None -> { Affinity.cells = 1; edges = [] }
+  | Some topo ->
+      let cells = topo.Dsl.hosts / w.replicas in
+      let edges =
+        if topo.Dsl.east_west_rate_per_s <= 0. || cells < 2 then []
+        else
+          List.init cells (fun c ->
+              {
+                Affinity.a = c;
+                b = (c + topo.Dsl.east_west_stride) mod cells;
+                weight = topo.Dsl.east_west_rate_per_s;
+              })
+      in
+      { Affinity.cells; edges }
+
 (* Datacenter-scale topology runs: [hosts] machines carved into
    [hosts/replicas] independent service cells, each with its own replica
    group, open-loop client, and (optionally) a low-rate east-west flow
-   toward the next cell — genuine cross-shard traffic under [shards > 1].
+   toward the cell [east_west_stride] further on — genuine cross-shard
+   traffic under [shards > 1].
 
    The scenario is configured so that the shard count cannot change any
    result byte: links carry zero jitter and zero loss and disks zero
@@ -162,11 +186,18 @@ let prepare_single (w : Dsl.workload) =
    generator is derived from [(seed, purpose, cell)] alone. The remaining
    cross-shard reordering is between same-instant events of *different*
    cells, which share no state. *)
-let prepare_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
+let prepare_datacenter ?shards ?partition ?lookahead (w : Dsl.workload)
+    (topo : Dsl.topology) =
   let topo =
     match shards with
     | None -> topo
     | Some s -> { topo with Dsl.shards = s }
+  in
+  let topo =
+    match partition with
+    | None | Some (`Assign _) -> topo
+    | Some `Contiguous -> { topo with Dsl.partition = Dsl.Contiguous }
+    | Some `Affinity -> { topo with Dsl.partition = Dsl.Affinity }
   in
   let w = { w with Dsl.topology = Some topo } in
   (match Dsl.check_topology w with
@@ -185,6 +216,17 @@ let prepare_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
           max_rotation = Time.zero;
         };
     }
+  in
+  (* The topology may coarsen the scheduler quantum: at the 10k-host scale
+     the per-slice events of idle guests are the simulation's whole cost,
+     and the traffic under study disappears into them at the default
+     200 us. Uniform across machines, so shard count and partition still
+     never change the bytes. *)
+  let config =
+    match topo.Dsl.quantum_us with
+    | None -> config
+    | Some us ->
+        { config with Sw_vmm.Config.quantum = Time.of_float_s (us *. 1e-6) }
   in
   (* Fleet-wide fabric hop: every access link in the datacenter crosses the
      aggregation layer, so it carries the same 500 us propagation delay as
@@ -207,10 +249,63 @@ let prepare_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
       loss = 0.;
     }
   in
+  (* Cell-to-shard assignment, expanded to the machine map Cloud.create
+     takes (machine m belongs to cell m / r, and cells are atoms). [`Assign]
+     is the test hook: any explicit cell map, e.g. a random one from the
+     partition-independence property test. *)
+  let cell_assign =
+    match partition with
+    | Some (`Assign a) ->
+        if Array.length a <> cells then
+          invalid_arg
+            (Printf.sprintf
+               "Run: partition assigns %d cells, topology has %d"
+               (Array.length a) cells);
+        Some (Array.copy a)
+    | _ -> (
+        match topo.Dsl.partition with
+        | Dsl.Contiguous -> None
+        | Dsl.Affinity ->
+            let plan = Affinity.partition (traffic_graph w) ~shards:topo.Dsl.shards in
+            Some plan.Affinity.shard_of_cell)
+  in
+  let cloud_partition =
+    match cell_assign with
+    | None -> `Contiguous
+    | Some assign -> `Affinity (Array.init topo.Dsl.hosts (fun m -> assign.(m / r)))
+  in
   let cloud =
     Cloud.create ~config ~seed:w.seed ~default_link ~machines:topo.Dsl.hosts
-      ~shards:topo.Dsl.shards ()
+      ~shards:topo.Dsl.shards ~partition:cloud_partition ?lookahead ()
   in
+  (* The rack-local replica interconnect: a fast directed link for every
+     ordered VMM pair inside a cell, installed before any deployment sends a
+     byte (link parameters latch at first use). Cells are partition atoms,
+     so these overrides are intra-shard on every fabric and — by
+     construction of Network.min_latency_to — never lower a cross-shard
+     lookahead floor. *)
+  (match topo.Dsl.replica_link_us with
+  | None -> ()
+  | Some us ->
+      let fast =
+        {
+          Sw_net.Network.latency = Time.of_float_s (us *. 1e-6);
+          jitter = Time.zero;
+          bandwidth_bps = default_link.Sw_net.Network.bandwidth_bps;
+          loss = 0.;
+        }
+      in
+      for c = 0 to cells - 1 do
+        for i = 0 to r - 1 do
+          for j = 0 to r - 1 do
+            if i <> j then
+              Cloud.set_pair_link cloud
+                ~src:(Sw_net.Address.Vmm ((c * r) + i))
+                ~dst:(Sw_net.Address.Vmm ((c * r) + j))
+                fast
+          done
+        done
+      done);
   let kv_config =
     {
       Kv.cache = w.cache;
@@ -258,7 +353,7 @@ let prepare_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
         Flowgen.launch
           ~prefix:(Printf.sprintf "workload.ew%d" c)
           ~host:ew_host
-          ~dst:(Cloud.vm_address services.((c + 1) mod cells))
+          ~dst:(Cloud.vm_address services.((c + topo.Dsl.east_west_stride) mod cells))
           ~registry
           ~rng:(Prng.derive ~seed:w.seed [ 0x2AL; Int64.of_int c ])
           (flow_config
@@ -304,12 +399,12 @@ let prepare_datacenter ?shards (w : Dsl.workload) (topo : Dsl.topology) =
   in
   { cloud; until = Time.add w.duration drain; finish }
 
-let prepare ?shards (w : Dsl.workload) =
+let prepare ?shards ?partition ?lookahead (w : Dsl.workload) =
   match w.topology with
-  | Some topo -> prepare_datacenter ?shards w topo
+  | Some topo -> prepare_datacenter ?shards ?partition ?lookahead w topo
   | None -> prepare_single w
 
-let run ?shards (w : Dsl.workload) =
-  let h = prepare ?shards w in
+let run ?shards ?partition ?lookahead (w : Dsl.workload) =
+  let h = prepare ?shards ?partition ?lookahead w in
   Cloud.run h.cloud ~until:h.until;
   h.finish ()

@@ -51,19 +51,43 @@ type handle = {
   finish : unit -> result;  (** Call once the cloud has reached [until]. *)
 }
 
-(** [prepare ?shards w] builds the scenario without advancing it; see
-    {!run} for the scenario semantics and {!handle} for what to do next. *)
-val prepare : ?shards:int -> Dsl.workload -> handle
+(** The cell-level communication graph of the scenario's topology block:
+    one node per service cell, one edge per east-west flow (weight = its
+    arrival rate). The input {!Sw_placement.Affinity.partition} consumes,
+    and the graph the bench prices contiguous-vs-affinity cuts against. A
+    scenario without a topology block yields the trivial 1-cell graph. *)
+val traffic_graph : Dsl.workload -> Sw_placement.Affinity.graph
+
+(** [prepare ?shards ?partition ?lookahead w] builds the scenario without
+    advancing it; see {!run} for the scenario semantics and {!handle} for
+    what to do next. *)
+val prepare :
+  ?shards:int ->
+  ?partition:[ `Contiguous | `Affinity | `Assign of int array ] ->
+  ?lookahead:[ `Global | `Pairwise ] ->
+  Dsl.workload ->
+  handle
 
 (** Runs the scenario. Without a [topology] block this is the single-cell
     path above. With one, the cloud is [topology.hosts] machines carved
     into [hosts/replicas] service cells (each its own replica group, KV
-    server, client host, and optional east-west flow toward the next
-    cell), simulated over [topology.shards] conservative shards —
-    [?shards] overrides the block's count from the command line. The
+    server, client host, and optional east-west flow toward the cell
+    [east_west_stride] further on), simulated over [topology.shards]
+    conservative shards — [?shards] overrides the block's count from the
+    command line, [?partition] likewise overrides the block's cell
+    placement ([`Assign a] additionally accepts an arbitrary explicit
+    cell-to-shard map — the hook the partition-independence property test
+    drives with random maps), and [?lookahead] selects the conductor's
+    bound ({!Stopwatch.Cloud.create}'s parameter; default pairwise). The
     scenario is zero-draw (no jitter, no loss, no disk seek) and every
     generator is key-derived, so the result is byte-identical across
-    shard counts outside the [sim.*] metric namespace. Raises
-    [Invalid_argument] when {!Dsl.check_topology} rejects the (possibly
-    overridden) block. *)
-val run : ?shards:int -> Dsl.workload -> result
+    shard counts, partitions, and lookahead modes outside the [sim.*]
+    metric namespace. Raises [Invalid_argument] when
+    {!Dsl.check_topology} rejects the (possibly overridden) block or an
+    [`Assign] map is malformed. *)
+val run :
+  ?shards:int ->
+  ?partition:[ `Contiguous | `Affinity | `Assign of int array ] ->
+  ?lookahead:[ `Global | `Pairwise ] ->
+  Dsl.workload ->
+  result

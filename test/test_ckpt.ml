@@ -110,7 +110,17 @@ let datacenter_workload () =
   {
     w with
     Dsl.duration = Time.ms 300;
-    topology = Some { Dsl.hosts = 12; shards = 1; east_west_rate_per_s = 40. };
+    topology =
+      Some
+        {
+          Dsl.hosts = 12;
+          shards = 1;
+          east_west_rate_per_s = 40.;
+          east_west_stride = 1;
+          partition = Dsl.Contiguous;
+          replica_link_us = None;
+          quantum_us = None;
+        };
   }
 
 (* The sharded conductor (engines, cross-shard inboxes, lookahead cursor)
@@ -297,6 +307,49 @@ let test_soak_survives_kills () =
   Alcotest.(check int64) "same horizon" uninterrupted.Soak.sim_ns
     survived.Soak.sim_ns
 
+(* --- warm-start cache ------------------------------------------------------ *)
+
+(* First use builds and checkpoints the prepared t=0 cloud; the second
+   restores it. Both runs — and a cold build that never touched the cache
+   — must produce the same report bytes, and a corrupted image silently
+   falls back to a rebuild. *)
+let test_warm_build_then_restore () =
+  let w = datacenter_workload () in
+  let dir = "warm_cache" in
+  let key = "warm-test:shards=2" in
+  let builds = ref 0 in
+  let build () =
+    incr builds;
+    Run.prepare ~shards:2 w
+  in
+  let go () =
+    match Sw_ckpt.Warm.load_or_build ~dir ~key ~seed:w.Dsl.seed ~shards:2 ~build with
+    | Error e -> Alcotest.failf "warm: %s" e
+    | Ok (h, status) ->
+        Cloud.run h.Run.cloud ~until:h.Run.until;
+        (contract_bytes (h.Run.finish ()).Run.metrics, status)
+  in
+  let bytes_built, s1 = go () in
+  let bytes_restored, s2 = go () in
+  Alcotest.(check bool) "first use builds" true (s1 = Sw_ckpt.Warm.Built);
+  Alcotest.(check bool) "second use restores" true (s2 = Sw_ckpt.Warm.Restored);
+  Alcotest.(check int) "built exactly once" 1 !builds;
+  let cold =
+    let h = Run.prepare ~shards:2 w in
+    Cloud.run h.Run.cloud ~until:h.Run.until;
+    contract_bytes (h.Run.finish ()).Run.metrics
+  in
+  Alcotest.(check string) "built-and-run = cold" cold bytes_built;
+  Alcotest.(check string) "restored-and-run = cold" cold bytes_restored;
+  (* A flipped bit in the image must cost a rebuild, never a wrong run. *)
+  let path = Sw_ckpt.Warm.image_path ~dir ~key in
+  let img = read_file path in
+  write_file path (String.sub img 0 (String.length img - 64));
+  let bytes_again, s3 = go () in
+  Alcotest.(check bool) "corrupt image rebuilt" true (s3 = Sw_ckpt.Warm.Built);
+  Alcotest.(check int) "rebuild counted" 2 !builds;
+  Alcotest.(check string) "rebuilt run = cold" cold bytes_again
+
 (* Resuming over a directory seeded by a different scenario is refused —
    never silently replayed. *)
 let test_soak_wrong_scenario () =
@@ -431,6 +484,11 @@ let () =
             test_image_version_and_magic;
           Alcotest.test_case "crash mid-write leaves prior image valid" `Quick
             test_store_crash_mid_write;
+        ] );
+      ( "warm",
+        [
+          Alcotest.test_case "build, restore, corrupt fallback" `Slow
+            test_warm_build_then_restore;
         ] );
       ( "soak",
         [

@@ -267,6 +267,112 @@ let prop_scheduler_random_churn =
         ops;
       match Sched.check t with Ok () -> true | Error _ -> false)
 
+(* --- Affinity ------------------------------------------------------------- *)
+
+module Aff = Sw_placement.Affinity
+
+let test_affinity_contiguous () =
+  Alcotest.(check (array int)) "even blocks, low shards first"
+    [| 0; 0; 0; 1; 1; 2; 2 |]
+    (Aff.contiguous ~cells:7 ~shards:3);
+  Alcotest.(check (array int)) "shards clamped to cells"
+    [| 0; 1 |]
+    (Aff.contiguous ~cells:2 ~shards:5)
+
+(* The scenario the bench runs: a stride ring where every edge leaves its
+   contiguous block, while the stride cycles fit whole under the balance
+   bound — affinity must bring the cut to zero without unbalancing. *)
+let test_affinity_beats_contiguous_on_stride () =
+  let cells = 16 and stride = 4 and w = 10. in
+  let g =
+    {
+      Aff.cells;
+      edges =
+        List.init cells (fun c ->
+            { Aff.a = c; b = (c + stride) mod cells; weight = w });
+    }
+  in
+  List.iter
+    (fun shards ->
+      let cap = (cells + shards - 1) / shards in
+      let contiguous_cut = Aff.cut_weight g (Aff.contiguous ~cells ~shards) in
+      let plan = Aff.partition g ~shards in
+      Alcotest.(check bool)
+        (Printf.sprintf "shards=%d: contiguous pays a cut" shards)
+        true (contiguous_cut > 0.);
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "shards=%d: affinity cut" shards)
+        0. plan.Aff.cut_weight;
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "shards=%d: total weight" shards)
+        (w *. float_of_int cells)
+        plan.Aff.total_weight;
+      let load = Array.make shards 0 in
+      Array.iter (fun s -> load.(s) <- load.(s) + 1) plan.Aff.shard_of_cell;
+      Array.iteri
+        (fun s l ->
+          Alcotest.(check bool)
+            (Printf.sprintf "shards=%d: shard %d within bound" shards s)
+            true (l <= cap))
+        load)
+    [ 2; 4 ]
+
+let prop_affinity_plan_valid =
+  QCheck.Test.make
+    ~name:"affinity plans respect the balance bound and price cuts honestly"
+    ~count:100
+    QCheck.(
+      triple (int_range 1 24) (int_range 1 6)
+        (small_list (triple (int_range 0 23) (int_range 0 23) (int_range 0 50))))
+    (fun (cells, shards, raw_edges) ->
+      let edges =
+        List.filter_map
+          (fun (a, b, w10) ->
+            if a < cells && b < cells then
+              Some { Aff.a; b; weight = float_of_int w10 /. 10. }
+            else None)
+          raw_edges
+      in
+      let g = { Aff.cells; edges } in
+      let plan = Aff.partition g ~shards in
+      let eff = min shards cells in
+      let cap = (cells + eff - 1) / eff in
+      let load = Array.make eff 0 in
+      Array.iter (fun s -> load.(s) <- load.(s) + 1) plan.Aff.shard_of_cell;
+      let balanced = Array.for_all (fun l -> l <= cap) load in
+      let in_range =
+        Array.for_all (fun s -> s >= 0 && s < eff) plan.Aff.shard_of_cell
+      in
+      let priced =
+        Float.abs
+          (plan.Aff.cut_weight -. Aff.cut_weight g plan.Aff.shard_of_cell)
+        < 1e-9
+      in
+      let bounded = plan.Aff.cut_weight <= plan.Aff.total_weight +. 1e-9 in
+      let deterministic =
+        (Aff.partition g ~shards).Aff.shard_of_cell = plan.Aff.shard_of_cell
+      in
+      balanced && in_range && priced && bounded && deterministic)
+
+let test_affinity_rejections () =
+  let g = { Aff.cells = 4; edges = [ { Aff.a = 0; b = 9; weight = 1. } ] } in
+  Alcotest.(check bool) "edge out of range rejected" true
+    (match Aff.partition g ~shards:2 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative weight rejected" true
+    (match
+       Aff.partition
+         { Aff.cells = 4; edges = [ { Aff.a = 0; b = 1; weight = -1. } ] }
+         ~shards:2
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "shards < 1 rejected" true
+    (match Aff.partition { Aff.cells = 4; edges = [] } ~shards:0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "sw_placement"
     [
@@ -304,6 +410,14 @@ let () =
             test_verify_catches_violations;
           Alcotest.test_case "greedy placement" `Quick test_greedy_place;
           Alcotest.test_case "utilization" `Quick test_utilization;
+        ] );
+      ( "affinity",
+        [
+          Alcotest.test_case "contiguous blocks" `Quick test_affinity_contiguous;
+          Alcotest.test_case "beats contiguous on the stride ring" `Quick
+            test_affinity_beats_contiguous_on_stride;
+          Alcotest.test_case "rejections" `Quick test_affinity_rejections;
+          QCheck_alcotest.to_alcotest prop_affinity_plan_valid;
         ] );
       ( "scheduler",
         [

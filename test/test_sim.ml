@@ -500,6 +500,107 @@ let test_conductor_validation () =
   (* A single shard never windows, so any lookahead is fine. *)
   ignore (Conductor.create ~lookahead:Time.zero [| Engine.create () |])
 
+let test_conductor_matrix_validation () =
+  let engines () = [| Engine.create (); Engine.create () |] in
+  Alcotest.check_raises "wrong shape"
+    (Invalid_argument "Conductor.create: lookahead matrix must be n x n")
+    (fun () ->
+      ignore
+        (Conductor.create ~matrix:[| [| Time.ms 1 |] |] ~lookahead:(Time.ms 1)
+           (engines ())));
+  Alcotest.check_raises "non-positive off-diagonal"
+    (Invalid_argument
+       "Conductor.create: lookahead matrix entries must be positive off the \
+        diagonal")
+    (fun () ->
+      ignore
+        (Conductor.create
+           ~matrix:
+             [| [| Time.zero; Time.ms 1 |]; [| Time.zero; Time.zero |] |]
+           ~lookahead:(Time.ms 1) (engines ())));
+  (* Asymmetric entries are the point of the matrix; the diagonal is unused
+     and may be anything. The conductor answers with the installed bound and
+     keeps its own defensive copy. *)
+  let m = [| [| Time.zero; Time.ms 2 |]; [| Time.us 300; Time.zero |] |] in
+  let c = Conductor.create ~matrix:m ~lookahead:(Time.ms 1) (engines ()) in
+  m.(0).(1) <- Time.us 1;
+  Alcotest.(check int64) "L(0,1)" (Time.ms 2) (Conductor.lookahead c ~src:0 ~dst:1);
+  Alcotest.(check int64) "L(1,0)" (Time.us 300) (Conductor.lookahead c ~src:1 ~dst:0)
+
+(* The violation report must name the offending pair and both instants —
+   that is what makes a late-installed fast link debuggable. *)
+let test_conductor_post_violation_names_pair () =
+  let engines = [| Engine.create (); Engine.create () |] in
+  let c = Conductor.create ~parallel:false ~lookahead:(Time.ms 1) engines in
+  let message = ref "" in
+  ignore
+    (Engine.schedule_at engines.(0) (Time.us 100) (fun () ->
+         try Conductor.post c ~src:0 ~dst:1 ~at:(Time.us 500) ignore
+         with Invalid_argument m -> message := m));
+  Conductor.run c ~until:(Time.ms 1);
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec at i = i + ln <= lh && (String.sub hay i ln = needle || at (i + 1)) in
+    at 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message %S mentions %S" !message needle)
+        true (contains !message needle))
+    [ "shard 0 -> shard 1"; "arrival 500.000us"; "window end 1.000ms" ]
+
+(* The parallel-matches-sequential contract again, under an asymmetric
+   per-pair matrix: each direction posts at its own bound, windows differ
+   per pair, and the domain gang must still reproduce the round-robin
+   driver's firing order exactly. *)
+let test_conductor_matrix_parallel_matches_sequential () =
+  let n = 3 in
+  let matrix =
+    [|
+      [| Time.zero; Time.us 200; Time.ms 5 |];
+      [| Time.ms 2; Time.zero; Time.us 700 |];
+      [| Time.us 400; Time.ms 1; Time.zero |];
+    |]
+  in
+  let horizon = Time.ms 30 in
+  let build ~parallel =
+    let engines = Array.init n (fun _ -> Engine.create ()) in
+    let c = Conductor.create ~parallel ~matrix ~lookahead:(Time.us 200) engines in
+    let logs = Array.make n [] in
+    let rng = Prng.create 0xA51DE5L in
+    for src = 0 to n - 1 do
+      for k = 0 to 29 do
+        let at = Time.us (10 + Prng.int rng 29_000) in
+        let tag = Printf.sprintf "s%de%d" src k in
+        ignore
+          (Engine.schedule_at engines.(src) at (fun () ->
+               logs.(src) <- (Engine.now engines.(src), tag) :: logs.(src);
+               if k mod 2 = 0 then begin
+                 let dst = (src + 1 + (k mod (n - 1))) mod n in
+                 let arrival =
+                   Time.add (Engine.now engines.(src)) matrix.(src).(dst)
+                 in
+                 Conductor.post c ~src ~dst ~at:arrival (fun () ->
+                     logs.(dst) <-
+                       (Engine.now engines.(dst), tag ^ "x") :: logs.(dst))
+               end))
+      done
+    done;
+    Conductor.run c ~until:horizon;
+    (logs, Conductor.exchanged c, Array.map Engine.now engines)
+  in
+  let logs_p, exch_p, now_p = build ~parallel:true in
+  let logs_s, exch_s, now_s = build ~parallel:false in
+  Alcotest.(check int) "messages exchanged" exch_s exch_p;
+  Alcotest.(check bool) "some cross-shard traffic" true (exch_s > 0);
+  Alcotest.(check (array int64)) "clocks parked" now_s now_p;
+  for i = 0 to n - 1 do
+    Alcotest.(check (list (pair int64 string)))
+      (Printf.sprintf "shard %d firing order" i)
+      logs_s.(i) logs_p.(i)
+  done
+
 (* Messages from both shards landing at the same destination instant must
    fire in (arrival, source shard, source sequence) order, regardless of
    which shard ran its window first. *)
@@ -640,12 +741,18 @@ let () =
         [
           Alcotest.test_case "creation validation" `Quick
             test_conductor_validation;
+          Alcotest.test_case "matrix validation" `Quick
+            test_conductor_matrix_validation;
+          Alcotest.test_case "violation names the pair" `Quick
+            test_conductor_post_violation_names_pair;
           Alcotest.test_case "exchange total order" `Quick
             test_conductor_exchange_order;
           Alcotest.test_case "post inside window rejected" `Quick
             test_conductor_post_lookahead_violation;
           Alcotest.test_case "parallel matches sequential" `Quick
             test_conductor_parallel_matches_sequential;
+          Alcotest.test_case "matrix parallel matches sequential" `Quick
+            test_conductor_matrix_parallel_matches_sequential;
         ] );
       ( "trace",
         [

@@ -335,14 +335,25 @@ let contract_bytes metrics =
     (Snapshot.filter metrics ~f:(fun name ->
          not (String.length name >= 4 && String.sub name 0 4 = "sim.")))
 
+let topo ?(stride = 1) ?(partition = Dsl.Contiguous) ?replica_link_us
+    ?quantum_us ~hosts ~shards ~east_west_rate_per_s () =
+  {
+    Dsl.hosts;
+    shards;
+    east_west_rate_per_s;
+    east_west_stride = stride;
+    partition;
+    replica_link_us;
+    quantum_us;
+  }
+
 let datacenter_workload () =
   let w = small_workload () in
   {
     w with
     Dsl.duration = Time.ms 400;
     load_multipliers = [ 1. ];
-    topology =
-      Some { Dsl.hosts = 12; shards = 1; east_west_rate_per_s = 40. };
+    topology = Some (topo ~hosts:12 ~shards:1 ~east_west_rate_per_s:40. ());
   }
 
 let test_shards_1_vs_4_bytes () =
@@ -358,6 +369,65 @@ let test_shards_1_vs_4_bytes () =
   Alcotest.(check (float 0.)) "p50" r1.Run.p50_ms r4.Run.p50_ms;
   Alcotest.(check (float 0.)) "p99" r1.Run.p99_ms r4.Run.p99_ms;
   Alcotest.(check string) "shards=1 and shards=4 metrics bytes" b1 b4
+
+(* The partition analogue of the shard-count contract, on the bench's
+   chatty-but-splittable shape: a stride ring whose every east-west edge
+   leaves its contiguous block, plus a fast rack-local replica
+   interconnect that only the per-pair lookahead matrix can keep out of
+   the cross-shard windows. Contiguous blocks under the legacy global
+   scalar, and affinity packing under the pairwise matrix, must both
+   reproduce the shards=1 bytes — while moving real cross-shard load. *)
+let test_partition_and_lookahead_bytes () =
+  let w =
+    {
+      (small_workload ()) with
+      Dsl.duration = Time.ms 400;
+      load_multipliers = [ 1. ];
+      topology =
+        Some
+          (topo ~stride:2 ~replica_link_us:100. ~hosts:24 ~shards:2
+             ~east_west_rate_per_s:40. ());
+    }
+  in
+  let r1 = Run.run ~shards:1 w in
+  let contiguous = Run.run ~partition:`Contiguous ~lookahead:`Global w in
+  let affinity = Run.run ~partition:`Affinity ~lookahead:`Pairwise w in
+  Alcotest.(check bool) "served traffic" true (r1.Run.completed > 0);
+  Alcotest.(check string) "contiguous+global bytes"
+    (contract_bytes r1.Run.metrics)
+    (contract_bytes contiguous.Run.metrics);
+  Alcotest.(check string) "affinity+pairwise bytes"
+    (contract_bytes r1.Run.metrics)
+    (contract_bytes affinity.Run.metrics);
+  (* The stride ring cuts every contiguous block boundary; affinity packs
+     the stride cycles co-shard, so its cross-shard message count drops. *)
+  Alcotest.(check bool) "contiguous pays cross-shard messages" true
+    (contiguous.Run.cross_shard > 0);
+  Alcotest.(check bool) "affinity cuts the cross-shard load" true
+    (affinity.Run.cross_shard < contiguous.Run.cross_shard)
+
+(* Stronger than the planner's own output: ANY valid cell-to-shard map
+   (atoms respected by construction — Run expands cells to machines)
+   reproduces the shards=1 bytes. Partition is an execution detail. *)
+let prop_any_partition_same_bytes =
+  let w =
+    {
+      (small_workload ()) with
+      Dsl.duration = Time.ms 300;
+      load_multipliers = [ 1. ];
+      topology =
+        Some
+          (topo ~stride:1 ~replica_link_us:150. ~hosts:12 ~shards:2
+             ~east_west_rate_per_s:40. ());
+    }
+  in
+  let baseline = lazy (contract_bytes (Run.run ~shards:1 w).Run.metrics) in
+  QCheck.Test.make ~name:"random cell maps are byte-identical to shards=1"
+    ~count:6
+    QCheck.(array_of_size (QCheck.Gen.return 4) (int_range 0 1))
+    (fun assign ->
+      let r = Run.run ~partition:(`Assign assign) w in
+      String.equal (Lazy.force baseline) (contract_bytes r.Run.metrics))
 
 (* Without a topology block the legacy single-cell path runs and [?shards]
    must be a pure no-op: a fig9-style slice is byte-identical — including
@@ -379,13 +449,26 @@ let test_topology_rejects () =
     match Dsl.check_topology w with Ok () -> false | Error _ -> true
   in
   Alcotest.(check bool) "hosts not a replica multiple" true
-    (rejected (bad { Dsl.hosts = 13; shards = 1; east_west_rate_per_s = 40. }));
+    (rejected (bad (topo ~hosts:13 ~shards:1 ~east_west_rate_per_s:40. ())));
   Alcotest.(check bool) "cells not divisible into shards" true
-    (rejected (bad { Dsl.hosts = 12; shards = 3; east_west_rate_per_s = 40. }));
+    (rejected (bad (topo ~hosts:12 ~shards:3 ~east_west_rate_per_s:40. ())));
+  Alcotest.(check bool) "east-west stride below one" true
+    (rejected
+       (bad (topo ~stride:0 ~hosts:12 ~shards:1 ~east_west_rate_per_s:40. ())));
+  Alcotest.(check bool) "non-positive replica link latency" true
+    (rejected
+       (bad
+          (topo ~replica_link_us:0. ~hosts:12 ~shards:1
+             ~east_west_rate_per_s:40. ())));
+  Alcotest.(check bool) "non-positive scheduler quantum" true
+    (rejected
+       (bad
+          (topo ~quantum_us:0. ~hosts:12 ~shards:1 ~east_west_rate_per_s:40.
+             ())));
   Alcotest.(check bool) "faults excluded on sharded runs" true
     (rejected
        {
-         (bad { Dsl.hosts = 12; shards = 2; east_west_rate_per_s = 40. }) with
+         (bad (topo ~hosts:12 ~shards:2 ~east_west_rate_per_s:40. ())) with
          Dsl.faults =
            [
              Sw_fault.Schedule.at (Time.ms 1)
@@ -431,6 +514,9 @@ let () =
           Alcotest.test_case "workload merge -j1 = -j4" `Slow test_j1_j4_bytes;
           Alcotest.test_case "datacenter shards=1 = shards=4" `Slow
             test_shards_1_vs_4_bytes;
+          Alcotest.test_case "partition & lookahead are execution details"
+            `Slow test_partition_and_lookahead_bytes;
+          QCheck_alcotest.to_alcotest prop_any_partition_same_bytes;
           Alcotest.test_case "?shards is a no-op without topology" `Slow
             test_shards_noop_without_topology;
           Alcotest.test_case "topology validation" `Quick test_topology_rejects;
