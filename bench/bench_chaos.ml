@@ -143,7 +143,7 @@ let run ?pool () =
         in
         Bench_report.add_metrics merged;
         let ks =
-          Sw_attack.Distinguisher.ks_observations_needed
+          (Sw_leak.Detector.ks ()).Sw_leak.Detector.observations_needed
             ~null:no_vic.Scenario.attacker_inter_delivery_ms
             ~alt:vic.Scenario.attacker_inter_delivery_ms ~confidence:0.95
         in

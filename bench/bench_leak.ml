@@ -1,0 +1,102 @@
+(* `main.exe leak`: the Fig. 4 distinguisher grid through the sw_leak audit.
+
+   Runs the victim / no-victim scenario pair once under StopWatch and once
+   under the baseline VMM, extracts every lineage-attributed observation
+   series (Scenario.leak_series), and sweeps the full detector battery over
+   each pair. Printed per config: the guest-visible verdict (detectors
+   flagging any attacker-observable series) and per-series p-values; the
+   full audit lands in BENCH_results.json under "leakage". [-quick]
+   shrinks the runs to the CI smoke duration. *)
+
+open Sw_experiments
+module Time = Sw_sim.Time
+module Scenario = Sw_attack.Scenario
+module Runner = Sw_runner.Runner
+module Detector = Sw_leak.Detector
+module Audit = Sw_leak.Audit
+
+let quick = ref false
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let guest_leaking (a : Audit.t) =
+  List.sort_uniq compare
+    (List.concat_map
+       (fun (f : Audit.finding) ->
+         if starts_with "attacker/" f.Audit.f_key then f.Audit.leaking else [])
+       a.Audit.findings)
+
+let p_cell p =
+  if Float.is_nan p then "-"
+  else if p < 1e-4 then Printf.sprintf "%.0e" p
+  else Printf.sprintf "%.4f" p
+
+let run ?pool () =
+  Tables.section
+    (if !quick then "Leak audit (fig4 grid, quick)"
+     else "Leak audit — fig4 grid through the detector battery");
+  let duration = if !quick then Time.s 2 else Time.s 20 in
+  let base = { Scenario.default with Scenario.duration } in
+  let jobs =
+    List.concat_map
+      (fun baseline ->
+        List.map
+          (fun victim ->
+            let key =
+              Printf.sprintf "leak/%s/%s"
+                (if baseline then "base" else "sw")
+                (if victim then "victim" else "no-victim")
+            in
+            Sw_runner.Job.make ~key (fun ~seed:_ ->
+                Scenario.leak_series { base with Scenario.baseline; victim }))
+          [ false; true ])
+      [ false; true ]
+  in
+  let results = List.map Runner.get (Runner.map ?pool jobs) in
+  let registry = Sw_obs.Registry.create () in
+  let paired null alt =
+    List.filter_map
+      (fun (key, null_xs) ->
+        Option.map
+          (fun alt_xs -> { Audit.key; null = null_xs; alt = alt_xs })
+          (List.assoc_opt key alt))
+      null
+  in
+  let audits =
+    match results with
+    | [ sw_null; sw_alt; base_null; base_alt ] ->
+        [
+          Audit.run ~registry ~label:"stopwatch" (paired sw_null sw_alt);
+          Audit.run ~registry ~label:"baseline" (paired base_null base_alt);
+        ]
+    | _ -> []
+  in
+  let detector_names =
+    List.map (fun (d : Detector.t) -> d.Detector.name) Detector.all
+  in
+  List.iter
+    (fun (a : Audit.t) ->
+      Tables.subsection
+        (Printf.sprintf "%s: %s" a.Audit.label
+           (match guest_leaking a with
+           | [] -> "guest-visible channel clean"
+           | ds ->
+               Printf.sprintf "guest-visible channel LEAKS (%s)"
+                 (String.concat ", " ds)));
+      Tables.header ~width:13 ("series" :: detector_names);
+      List.iter
+        (fun (f : Audit.finding) ->
+          Tables.row ~width:13
+            (f.Audit.f_key
+            :: List.map
+                 (fun (r : Detector.report) ->
+                   let cell = p_cell r.Detector.p_value in
+                   if r.Detector.leak then cell ^ "*" else cell)
+                 f.Audit.reports))
+        a.Audit.findings;
+      print_endline "  (*: detector flags leakage at its threshold)")
+    audits;
+  Bench_report.add "leakage"
+    (Sw_runner.Report.List (List.map Audit.to_report audits));
+  Bench_report.add_metrics (Sw_obs.Registry.snapshot registry)

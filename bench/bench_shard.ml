@@ -102,6 +102,7 @@ let workload ?(east_west = 10.) ?(replica_link = 100.) ?quantum_us ~hosts
         };
     load_multipliers = [ 1. ];
     trace = false;
+    leak_audit = false;
     profile = false;
   }
 

@@ -46,6 +46,7 @@ let workload ~arrival ~stopwatch ~duration ~multipliers : Dsl.workload =
     topology = None;
     load_multipliers = multipliers;
     trace = false;
+    leak_audit = false;
     profile = false;
   }
 

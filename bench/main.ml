@@ -5,8 +5,9 @@
    Usage: main.exe [-j N] [-quick] [--shards N] [experiment ...]
    where experiment is one of fig1 fig2 fig4 fig5 fig6 fig7 fig8 fig9
    placement utilization theorems collusion ablation scale shard micro ckpt
-   chaos quick, or nothing / "all" for everything except chaos and quick. [-quick]
-   shrinks the chaos, engine, fig9, and shard sweeps to their CI smoke forms.
+   chaos leak quick, or nothing / "all" for everything except chaos and quick.
+   [-quick] shrinks the chaos, engine, fig9, leak, and shard sweeps to their
+   CI smoke forms.
 
    -j / --jobs N shards each experiment's independent simulations across N
    worker domains via sw_runner; results are identical to -j 1 (per-job
@@ -37,6 +38,7 @@ let experiments =
     ("engine", fun ~pool:_ -> Bench_engine.run ());
     ("ckpt", fun ~pool:_ -> Bench_ckpt.run ());
     ("chaos", fun ~pool -> Bench_chaos.run ?pool ());
+    ("leak", fun ~pool -> Bench_leak.run ?pool ());
     ("quick", fun ~pool -> Bench_quick.run ?pool ());
   ]
 
@@ -70,6 +72,7 @@ let parse_args () =
         Bench_chaos.quick := true;
         Bench_engine.quick := true;
         Bench_shard.quick := true;
+        Bench_leak.quick := true;
         Fig9.quick := true;
         go rest
     | "--shards" :: n :: rest -> (

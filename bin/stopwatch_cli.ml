@@ -829,6 +829,10 @@ let soak_cmd =
             | Sw_ckpt.Soak.Skipped_image { path; error } ->
                 Printf.eprintf "  [soak] skipped %s: %s\n%!" path
                   (Sw_ckpt.Image.error_to_string error)
+            | Sw_ckpt.Soak.Leak_sampled { index; sim_ns; leak } ->
+                Printf.eprintf "  [soak] leak sample at checkpoint %d (t=%Ldns): %s\n%!"
+                  index sim_ns
+                  (if leak then "drift flagged" else "clean")
             | Sw_ckpt.Soak.Finished { sim_ns } ->
                 Printf.eprintf "  [soak] finished at %Ldns\n%!" sim_ns
         in
@@ -929,6 +933,257 @@ let soak_cmd =
       const run $ file $ dir $ every $ seconds $ shards $ kill_after $ keep
       $ output $ quiet)
 
+(* --- leak ------------------------------------------------------------------ *)
+
+(* Pair the two configs' series by key (keys present on both sides only:
+   the victim's own VM exists in just one run and has no counterpart). *)
+let paired_series null alt =
+  List.filter_map
+    (fun (key, null_xs) ->
+      match List.assoc_opt key alt with
+      | Some alt_xs ->
+          Some { Sw_leak.Audit.key; null = null_xs; alt = alt_xs }
+      | None -> None)
+    null
+
+let leak_cmd =
+  let module S = Sw_attack.Scenario in
+  let module Detector = Sw_leak.Detector in
+  let module Audit = Sw_leak.Audit in
+  let run file seconds jobs output smoke =
+    with_pool jobs (fun pool ->
+        match load_scenario file with
+        | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            1
+        | Ok { Dsl.name; kind } ->
+            let registry = Sw_obs.Registry.create () in
+            let audits =
+              match kind with
+              | Dsl.Attack a ->
+                  let a =
+                    match seconds with
+                    | None -> a
+                    | Some s -> { a with Dsl.duration = Sw_sim.Time.of_float_s s }
+                  in
+                  let specs = Dsl.attack_specs a in
+                  let series =
+                    run_variants ~pool ~make:Sw_attack.Scenario.leak_series
+                      specs
+                  in
+                  (* Group variants by configuration and audit victim (alt)
+                     against no-victim (null) within each group. *)
+                  let group_of (s : S.spec) =
+                    (if s.S.baseline then "baseline" else "stopwatch")
+                    ^ if s.S.colluder then "+colluder" else ""
+                  in
+                  let labels =
+                    List.fold_left
+                      (fun acc (_, spec) ->
+                        let g = group_of spec in
+                        if List.mem g acc then acc else acc @ [ g ])
+                      [] specs
+                  in
+                  let tagged = List.combine specs series in
+                  List.filter_map
+                    (fun label ->
+                      let side victim =
+                        List.find_map
+                          (fun ((_, spec), (_, xs)) ->
+                            if group_of spec = label && spec.S.victim = victim
+                            then Some xs
+                            else None)
+                          tagged
+                      in
+                      match (side false, side true) with
+                      | Some null, Some alt ->
+                          Some
+                            (Audit.run ~registry ~label
+                               (paired_series null alt))
+                      | _ -> None)
+                    labels
+              | Dsl.Workload w ->
+                  let w =
+                    match seconds with
+                    | None -> w
+                    | Some s -> { w with Dsl.duration = Sw_sim.Time.of_float_s s }
+                  in
+                  let w = { w with Dsl.leak_audit = true } in
+                  let variants =
+                    [
+                      ("leak/stopwatch-on", { w with Dsl.stopwatch = true });
+                      ("leak/stopwatch-off", { w with Dsl.stopwatch = false });
+                    ]
+                  in
+                  let results =
+                    run_variants ~pool
+                      ~make:(fun wv -> (Wrun.run wv).Wrun.leak_series)
+                      variants
+                  in
+                  (match results with
+                  | [ (_, null); (_, alt) ] ->
+                      [
+                        Audit.run ~registry
+                          ~label:"stopwatch-off vs stopwatch-on"
+                          (paired_series null alt);
+                      ]
+                  | _ -> [])
+            in
+            if audits = [] then begin
+              Printf.eprintf
+                "error: %s has no auditable config pair (need both a victim \
+                 and a no-victim variant)\n"
+                file;
+              1
+            end
+            else begin
+              (* The guest-visible verdict: detectors that flagged any
+                 attacker-observable series. The vm*/... lineage series are
+                 attribution — they say where a (possibly masked) host-level
+                 signal lives, not what the guest can read. *)
+              let starts_with p s =
+                String.length s >= String.length p
+                && String.sub s 0 (String.length p) = p
+              in
+              let guest_leaking (a : Audit.t) =
+                List.sort_uniq compare
+                  (List.concat_map
+                     (fun (f : Audit.finding) ->
+                       if starts_with "attacker/" f.Audit.f_key then
+                         f.Audit.leaking
+                       else [])
+                     a.Audit.findings)
+              in
+              List.iter
+                (fun (a : Audit.t) ->
+                  let verdict =
+                    match guest_leaking a with
+                    | [] -> "guest-visible channel clean (no detector flags)"
+                    | ds ->
+                        Printf.sprintf "guest-visible channel LEAKS (%s)"
+                          (String.concat ", " ds)
+                  in
+                  Printf.printf "%s: %s\n" a.Audit.label verdict;
+                  List.iter
+                    (fun (key, ds) ->
+                      Printf.printf "  attribution: %s <- %s\n" key
+                        (String.concat ", " ds))
+                    (Audit.attribution a))
+                audits;
+              let report =
+                Sw_runner.Report.Obj
+                  [
+                    ("name", Sw_runner.Report.String name);
+                    ( "leakage",
+                      Sw_runner.Report.List (List.map Audit.to_report audits) );
+                    ( "metrics",
+                      Sw_runner.Report.of_metrics
+                        (Sw_obs.Registry.snapshot registry) );
+                  ]
+              in
+              Option.iter
+                (fun path ->
+                  write_output (Some path)
+                    (Sw_runner.Report.to_string report ^ "\n"))
+                output;
+              if not smoke then 0
+              else begin
+                (* Smoke contract: every StopWatch config hides the channel
+                   from all five detectors; every baseline config is caught
+                   by all five (across the attacker-observable series). *)
+                let names =
+                  List.sort_uniq compare
+                    (List.map
+                       (fun (d : Detector.t) -> d.Detector.name)
+                       Detector.all)
+                in
+                let failures =
+                  List.filter_map
+                    (fun (a : Audit.t) ->
+                      let leaking = guest_leaking a in
+                      (* Exact group names only ("baseline", "stopwatch",
+                         "...+colluder") — the workload kind's comparison
+                         label also begins with "stopwatch" but carries no
+                         masked/unmasked contrast to assert. *)
+                      let is_group g =
+                        a.Audit.label = g || starts_with (g ^ "+") a.Audit.label
+                      in
+                      if is_group "baseline" then begin
+                        if leaking <> names then
+                          Some
+                            (Printf.sprintf
+                               "%s: guest channel flagged by [%s], want all \
+                                of [%s]"
+                               a.Audit.label
+                               (String.concat ", " leaking)
+                               (String.concat ", " names))
+                        else None
+                      end
+                      else if is_group "stopwatch" then begin
+                        if leaking <> [] then
+                          Some
+                            (Printf.sprintf
+                               "%s: guest channel flagged by [%s], want none"
+                               a.Audit.label
+                               (String.concat ", " leaking))
+                        else None
+                      end
+                      else
+                        Some
+                          (Printf.sprintf
+                             "%s: smoke needs an attack scenario's \
+                              baseline/stopwatch config pairs"
+                             a.Audit.label))
+                    audits
+                in
+                if failures = [] then begin
+                  Printf.printf "leak smoke OK: %d config pair(s), %d detectors\n"
+                    (List.length audits) (List.length names);
+                  0
+                end
+                else begin
+                  List.iter
+                    (fun msg -> Printf.eprintf "leak smoke: FAIL: %s\n" msg)
+                    failures;
+                  1
+                end
+              end
+            end)
+  in
+  let file =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:".scn file.")
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seconds" ] ~doc:"Override the scenario duration.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the JSON leakage report here.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Assert the expected verdicts: every baseline config pair \
+                leaks under all five detectors and every StopWatch pair \
+                under none; exit non-zero otherwise.")
+  in
+  Cmd.v
+    (Cmd.info "leak"
+       ~doc:"Audit a .scn scenario for timing leakage: run its config \
+             pairs (victim vs no-victim per configuration for attack \
+             scenarios, StopWatch-off vs -on for workloads), sweep the \
+             detector battery over every lineage-attributed observation \
+             series, and report per-detector p-values, effect sizes and \
+             observations-needed curves")
+    Term.(const run $ file $ seconds $ jobs_arg $ output $ smoke)
+
 (* --- bisect ---------------------------------------------------------------- *)
 
 let bisect_cmd =
@@ -974,5 +1229,5 @@ let () =
        (Cmd.group (Cmd.info "stopwatch" ~doc)
           [
             plan_cmd; download_cmd; nfs_cmd; parsec_cmd; attack_cmd; trace_cmd;
-            workload_cmd; soak_cmd; bisect_cmd;
+            workload_cmd; soak_cmd; bisect_cmd; leak_cmd;
           ]))

@@ -19,10 +19,17 @@ let table ?(duration = Sw_sim.Time.s 40) ?(ping_rate = 40.) ?(seed = 0xC0_11D3L)
   let detect spec =
     let null = Scenario.run { spec with Scenario.victim = false } in
     let alt = Scenario.run { spec with Scenario.victim = true } in
+    (* The shared leak-detector API; same values the bespoke sweep used to
+       produce (the chi-square detector carries that exact computation). *)
+    let chi = Sw_leak.Detector.chi_square () in
     let observations =
-      Distinguisher.sweep_empirical
-        ~null:null.Scenario.attacker_inter_delivery_ms
-        ~alt:alt.Scenario.attacker_inter_delivery_ms ()
+      List.map
+        (fun c ->
+          ( c,
+            chi.Sw_leak.Detector.observations_needed
+              ~null:null.Scenario.attacker_inter_delivery_ms
+              ~alt:alt.Scenario.attacker_inter_delivery_ms ~confidence:c ))
+        Sw_leak.Detector.confidence_grid
     in
     let share =
       match alt.Scenario.median_share with [||] -> nan | a -> a.(0)

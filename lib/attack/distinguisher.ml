@@ -1,5 +1,6 @@
 module Dist = Sw_stats.Dist
 module Chi_square = Sw_stats.Chi_square
+module Detector = Sw_leak.Detector
 
 let analytic ~null ~alt ?(bins = 10) ~confidence () =
   let edges = Chi_square.equiprobable_edges null ~bins in
@@ -7,33 +8,16 @@ let analytic ~null ~alt ?(bins = 10) ~confidence () =
   let alt_probs = Chi_square.bin_probs ~edges alt.Dist.cdf in
   Chi_square.observations_needed ~null_probs ~alt_probs ~confidence
 
-let quantile_edges samples ~bins =
-  let sorted = Array.copy samples in
-  Array.sort Float.compare sorted;
-  let n = Array.length sorted in
-  Array.init (bins - 1) (fun i ->
-      let pos = float_of_int (i + 1) /. float_of_int bins *. float_of_int (n - 1) in
-      let j = int_of_float (Float.floor pos) in
-      if j >= n - 1 then sorted.(n - 1)
-      else begin
-        let frac = pos -. float_of_int j in
-        sorted.(j) +. (frac *. (sorted.(j + 1) -. sorted.(j)))
-      end)
-
+(* The empirical computations live in Sw_leak.Detector now (chi_square and
+   ks instances); these wrappers keep the historical entry points — and
+   their exact values — for the figure benches. *)
 let empirical ~null ~alt ?(bins = 10) ~confidence () =
   if Array.length null = 0 || Array.length alt = 0 then
     invalid_arg "Distinguisher.empirical: empty sample";
-  let edges = quantile_edges null ~bins in
-  let to_probs counts total =
-    Array.map (fun c -> c /. float_of_int total) counts
-  in
-  let null_probs =
-    to_probs (Chi_square.bin_counts ~edges null) (Array.length null)
-  in
-  let alt_probs = to_probs (Chi_square.bin_counts ~edges alt) (Array.length alt) in
-  Chi_square.observations_needed ~null_probs ~alt_probs ~confidence
+  (Detector.chi_square ~bins ()).Detector.observations_needed ~null ~alt
+    ~confidence
 
-let confidence_grid = [ 0.70; 0.75; 0.80; 0.85; 0.90; 0.95; 0.99 ]
+let confidence_grid = Detector.confidence_grid
 
 let sweep_analytic ~null ~alt ?bins () =
   List.map (fun c -> (c, analytic ~null ~alt ?bins ~confidence:c ())) confidence_grid
@@ -44,12 +28,4 @@ let sweep_empirical ~null ~alt ?bins () =
 let ks_observations_needed ~null ~alt ~confidence =
   if Array.length null = 0 || Array.length alt = 0 then
     invalid_arg "Distinguisher.ks_observations_needed: empty sample";
-  let d = Sw_stats.Ks.two_sample null alt in
-  if d <= 0. then infinity
-  else begin
-    (* One-sample critical value c(alpha) = sqrt(-ln(alpha/2) / 2); reject
-       when D_n > c / sqrt(n), so n = (c / D)^2. *)
-    let alpha = 1. -. confidence in
-    let c = Float.sqrt (-.Float.log (alpha /. 2.) /. 2.) in
-    Float.max 1. ((c /. d) ** 2.)
-  end
+  (Detector.ks ()).Detector.observations_needed ~null ~alt ~confidence

@@ -10,7 +10,9 @@ val analytic :
 
 (** [empirical ~null ~alt ~bins ~confidence] is the same computation from raw
     samples: bin edges are the null sample's quantiles; bin probabilities are
-    the empirical frequencies. Requires both samples non-empty. *)
+    the empirical frequencies. Requires both samples non-empty. A thin
+    wrapper over [Sw_leak.Detector.chi_square] — new callers should use the
+    detector API directly, which also carries verdicts and p-values. *)
 val empirical :
   null:float array -> alt:float array -> ?bins:int -> confidence:float -> unit -> float
 
@@ -27,6 +29,7 @@ val sweep_empirical :
 (** Kolmogorov–Smirnov alternative: observations until the two-sample KS
     statistic of an [n]-sample from the alternative exceeds the critical
     value at [confidence] against the null — a cross-check that the defence
-    does not merely fool the chi-square binning. *)
+    does not merely fool the chi-square binning. Wraps
+    [Sw_leak.Detector.ks]. *)
 val ks_observations_needed :
   null:float array -> alt:float array -> confidence:float -> float

@@ -154,3 +154,42 @@ let run spec =
     median_share;
     metrics;
   }
+
+(* --- Leak-audit observation extraction --------------------------------- *)
+
+let headline_key = "attacker/ping-latency"
+
+(* Successive-difference jitter: the dispersion view of a timing series. A
+   contention channel that reshapes a distribution without moving its mean
+   (pacing pins the mean of gaps, uniform arrival pins the mean of waits)
+   still moves the mean of |x(i+1) - x(i)|, which puts it in reach of the
+   location-based detectors. *)
+let jitter xs =
+  if Array.length xs < 2 then [||]
+  else Array.init (Array.length xs - 1) (fun i -> abs_float (xs.(i + 1) -. xs.(i)))
+
+let leak_series spec =
+  let tr = Sw_obs.Trace.create () in
+  let spec = { spec with trace = Some tr } in
+  let r = run spec in
+  (* The attacker is deployed first, so its VM id is 0; its ingress-latency
+     series is promoted to the headline key (the pinger is the attack
+     apparatus's own agent, so send times are known to the attacker even
+     though the ingress stamp is not guest-visible). *)
+  let lineage =
+    List.map
+      (fun ((vm, mech), xs) ->
+        if vm = 0 && mech = Sw_obs.Lineage.Ingress_latency then
+          (headline_key, xs)
+        else
+          ( Printf.sprintf "vm%d/%s" vm (Sw_obs.Lineage.mechanism_label mech),
+            xs ))
+      (Sw_obs.Lineage.observations (Sw_obs.Lineage.of_trace tr))
+  in
+  let jitter_series =
+    match List.assoc_opt headline_key lineage with
+    | Some lat -> [ ("attacker/ping-jitter", jitter lat) ]
+    | None -> []
+  in
+  (("attacker/inter-delivery", r.attacker_inter_delivery_ms) :: lineage)
+  @ jitter_series

@@ -66,3 +66,25 @@ type result = {
 }
 
 val run : spec -> result
+
+(** Key under which {!leak_series} reports the attacker's end-to-end ping
+    latency (ingress stamp → delivery on the guest's virtual clock) — the
+    headline attacker-observable series of a leak audit. The pinger is the
+    attack apparatus's own agent, so send times are known to the attacker
+    even though the ingress stamp is not guest-visible. *)
+val headline_key : string
+
+(** Successive-difference jitter [|x(i+1) - x(i)|] — the dispersion view
+    of a timing series. A contention channel that reshapes a distribution
+    without moving its mean still moves the mean of the jitter, putting it
+    in reach of location-based detectors (Welch, Cohen's d). Empty for
+    series shorter than 2. *)
+val jitter : float array -> float array
+
+(** [leak_series spec] runs the scenario with a trace sink attached and
+    distils every leak-audit observation series, keyed for lineage
+    attribution: [attacker/inter-delivery] (guest-visible gaps),
+    {!headline_key} and its [attacker/ping-jitter] dispersion view, and
+    one [vmN/<mechanism>] series per {!Sw_obs.Lineage.mechanism}. Returns
+    plain data only, so results marshal across runner domains. *)
+val leak_series : spec -> (string * float array) list

@@ -7,6 +7,7 @@ type event =
   | Resumed of { index : int; sim_ns : int64 }
   | Checkpointed of { index : int; sim_ns : int64; path : string; bytes : int }
   | Skipped_image of { path : string; error : Image.error }
+  | Leak_sampled of { index : int; sim_ns : int64; leak : bool }
   | Finished of { sim_ns : int64 }
 
 type error =
@@ -28,6 +29,7 @@ type outcome = {
   checkpoints_written : int;
   resumed_from : int option;
   images_skipped : int;
+  leak_samples : (int64 * Sw_leak.Audit.t) list;
 }
 
 exception Killed of { checkpoints : int; sim_ns : int64 }
@@ -103,6 +105,26 @@ let run ~scenario ?shards ~dir ~every ?kill_after ?keep
   let until = handle.Run.until in
   let written = ref 0 in
   let index = ref first_index in
+  let leak_samples = ref [] in
+  (* One leak sample per checkpoint grid point: a split-half drift audit of
+     every observation series accumulated so far. Empty unless the scenario
+     set [leak_audit]. Recomputed on resume exactly as in a straight run
+     (the series live in the checkpointed cloud), so the outcome stays
+     byte-identical across interruptions. *)
+  let sample_leak ~grid_index ~sim_ns =
+    match handle.Run.observe () with
+    | [] -> ()
+    | series ->
+        let audit =
+          Sw_leak.Audit.split_half
+            ~label:(Printf.sprintf "soak/%d" grid_index)
+            series
+        in
+        leak_samples := (sim_ns, audit) :: !leak_samples;
+        on_event
+          (Leak_sampled
+             { index = grid_index; sim_ns; leak = Sw_leak.Audit.leak audit })
+  in
   (* The checkpoint grid is absolute simulated time (every, 2*every, ...):
      a resumed run schedules the same capture instants as an uninterrupted
      one, so their timelines line up image for image. *)
@@ -136,6 +158,7 @@ let run ~scenario ?shards ~dir ~every ?kill_after ?keep
       on_event
         (Checkpointed
            { index = !index; sim_ns; path; bytes = String.length payload });
+      sample_leak ~grid_index:!index ~sim_ns;
       incr index;
       (match keep with Some k -> Store.prune dir ~keep:k | None -> ());
       (match kill_after with
@@ -155,4 +178,5 @@ let run ~scenario ?shards ~dir ~every ?kill_after ?keep
       checkpoints_written = !written;
       resumed_from;
       images_skipped;
+      leak_samples = List.rev !leak_samples;
     }

@@ -29,6 +29,9 @@ type event =
   | Checkpointed of { index : int; sim_ns : int64; path : string; bytes : int }
   | Skipped_image of { path : string; error : Image.error }
       (** An unusable newer image was passed over during recovery. *)
+  | Leak_sampled of { index : int; sim_ns : int64; leak : bool }
+      (** A leak sample was taken at checkpoint grid point [index]
+          (scenarios with [leak_audit] only). *)
   | Finished of { sim_ns : int64 }
 
 type error =
@@ -44,6 +47,13 @@ type outcome = {
   checkpoints_written : int;  (** By this process. *)
   resumed_from : int option;  (** Checkpoint index, when resuming. *)
   images_skipped : int;  (** Unusable images passed over during recovery. *)
+  leak_samples : (int64 * Sw_leak.Audit.t) list;
+      (** One split-half drift audit per checkpoint grid point reached by
+          this process, oldest first, stamped with the grid instant —
+          empty unless the scenario set [leak_audit]. A resumed run
+          re-samples only the grid points it itself crosses; the
+          checkpointed observation series make each sample identical to
+          the straight run's at the same index. *)
 }
 
 (** Raised when [kill_after] fires: the driver stops dead — no final

@@ -78,6 +78,20 @@ let hist_of_lags lags =
 let hist_mean_ns h =
   if h.count = 0 then 0. else Int64.to_float h.total_ns /. float_of_int h.count
 
+type mechanism =
+  | Median_adoption
+  | Delivery_gap
+  | Egress_release
+  | Ingress_latency
+
+let mechanism_label = function
+  | Median_adoption -> "median-adoption"
+  | Delivery_gap -> "delivery-gap"
+  | Egress_release -> "egress-release"
+  | Ingress_latency -> "ingress-latency"
+
+let ms_of_ns v = Int64.to_float v /. 1e6
+
 (* --- Reconstruction ----------------------------------------------------- *)
 
 type builder = {
@@ -101,6 +115,8 @@ type t = {
   skew_series : (int64 * int64) list;
   negative_lags : int;
   dropped : int;
+  pa_ms_by_vm : (int * float array) list;
+  egress_gap_ms_by_vm : (int * float array) list;
 }
 
 let of_entries ?(dropped = 0) entries =
@@ -122,6 +138,21 @@ let of_entries ?(dropped = 0) entries =
         Hashtbl.add builders (vm, seq) b;
         b
   in
+  (* Per-VM accumulators outside the chain structure: egress release
+     instants (which have no ingress_seq) and propose->adopt lags. *)
+  let egress_at : (int, int64 list ref) Hashtbl.t = Hashtbl.create 8 in
+  let pa_vm : (int, int64 list ref) Hashtbl.t = Hashtbl.create 8 in
+  let vm_push tbl vm v =
+    let cell =
+      match Hashtbl.find_opt tbl vm with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add tbl vm c;
+          c
+    in
+    cell := v :: !cell
+  in
   List.iter
     (fun (e : Trace.entry) ->
       let at_ns = e.Trace.at_ns in
@@ -142,6 +173,7 @@ let of_entries ?(dropped = 0) entries =
       | Event.Packet_delivered { vm; replica; seq; virt_ns } ->
           let b = builder vm seq in
           b.b_deliveries <- { replica; at_ns; virt_ns } :: b.b_deliveries
+      | Event.Egress_released { vm; _ } -> vm_push egress_at vm at_ns
       | _ -> ())
     entries;
   let chains =
@@ -223,7 +255,13 @@ let of_entries ?(dropped = 0) entries =
                 | None -> None)
           in
           (match anchor with
-          | Some t0 -> lag_push pa_lags t0 a.at_ns
+          | Some t0 ->
+              let d = Int64.sub a.at_ns t0 in
+              if Int64.compare d 0L < 0 then incr negative
+              else begin
+                pa_lags := d :: !pa_lags;
+                vm_push pa_vm c.vm d
+              end
           | None -> ());
           (* Median-win credit, ties split evenly — the marginalisation view
              of Sec. IX, recomputed from the trace alone. *)
@@ -293,6 +331,28 @@ let of_entries ?(dropped = 0) entries =
     skew_series = List.rev !skew;
     negative_lags = !negative;
     dropped;
+    pa_ms_by_vm =
+      (let acc =
+         Hashtbl.fold
+           (fun vm cell acc ->
+             (vm, Array.of_list (List.rev_map ms_of_ns !cell)) :: acc)
+           pa_vm []
+       in
+       List.sort compare acc);
+    egress_gap_ms_by_vm =
+      (let gaps l =
+         let rec walk acc = function
+           | a :: (b :: _ as rest) -> walk (ms_of_ns (Int64.sub b a) :: acc) rest
+           | _ -> List.rev acc
+         in
+         Array.of_list (walk [] l)
+       in
+       let acc =
+         Hashtbl.fold
+           (fun vm cell acc -> (vm, gaps (List.rev !cell)) :: acc)
+           egress_at []
+       in
+       List.sort compare acc);
   }
 
 let of_trace tr = of_entries ~dropped:(Trace.dropped tr) (Trace.entries tr)
@@ -307,6 +367,85 @@ let adopt_to_deliver t = t.adopt_to_deliver
 let negative_lags t = t.negative_lags
 let skew_series t = t.skew_series
 let dropped t = t.dropped
+
+let mechanism_rank = function
+  | Median_adoption -> 0
+  | Delivery_gap -> 1
+  | Egress_release -> 2
+  | Ingress_latency -> 3
+
+let observations t =
+  (* Delivery gaps: per VM, successive differences of each chain's first
+     delivery virtual time, in ingress order (chains are already sorted by
+     (vm, ingress_seq)). This is the inter-delivery series the co-resident
+     observer measures, rebuilt from the trace. *)
+  let delivery_gaps =
+    let by_vm : (int, float list ref) Hashtbl.t = Hashtbl.create 8 in
+    let last : (int, int64) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        match c.deliveries with
+        | [] -> ()
+        | { virt_ns; _ } :: _ ->
+            (match Hashtbl.find_opt last c.vm with
+            | Some prev ->
+                let cell =
+                  match Hashtbl.find_opt by_vm c.vm with
+                  | Some l -> l
+                  | None ->
+                      let l = ref [] in
+                      Hashtbl.add by_vm c.vm l;
+                      l
+                in
+                cell := ms_of_ns (Int64.sub virt_ns prev) :: !cell
+            | None -> ());
+            Hashtbl.replace last c.vm virt_ns)
+      t.chains;
+    Hashtbl.fold
+      (fun vm cell acc -> (vm, Array.of_list (List.rev !cell)) :: acc)
+      by_vm []
+  in
+  (* Ingress latency: per VM, ingress stamp to first delivery (virtual
+     delivery instant), one sample per chain that carries both ends. The
+     pinger side of the probe knows its own send times, so this series is
+     observable by the attack apparatus even though the ingress stamp is
+     not guest-visible. *)
+  let ingress_latency =
+    let by_vm : (int, float list ref) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        match (c.ingress_at_ns, c.deliveries) with
+        | Some t0, { virt_ns; _ } :: _ ->
+            let cell =
+              match Hashtbl.find_opt by_vm c.vm with
+              | Some l -> l
+              | None ->
+                  let l = ref [] in
+                  Hashtbl.add by_vm c.vm l;
+                  l
+            in
+            cell := ms_of_ns (Int64.sub virt_ns t0) :: !cell
+        | _ -> ())
+      t.chains;
+    Hashtbl.fold
+      (fun vm cell acc -> (vm, Array.of_list (List.rev !cell)) :: acc)
+      by_vm []
+  in
+  let tag m series =
+    List.filter_map
+      (fun (vm, xs) -> if Array.length xs = 0 then None else Some ((vm, m), xs))
+      series
+  in
+  let all =
+    tag Median_adoption t.pa_ms_by_vm
+    @ tag Delivery_gap delivery_gaps
+    @ tag Egress_release t.egress_gap_ms_by_vm
+    @ tag Ingress_latency ingress_latency
+  in
+  List.sort
+    (fun ((va, ma), _) ((vb, mb), _) ->
+      compare (va, mechanism_rank ma) (vb, mechanism_rank mb))
+    all
 
 let median_wins t =
   let total = List.fold_left (fun acc (_, c) -> acc +. c) 0. t.median_credits in

@@ -70,6 +70,22 @@ type orphan = {
 
 val orphan_kind_label : orphan_kind -> string
 
+(** The delivery-pipeline mechanism a timing series is attributed to —
+    the "which masking layer failed" axis of a leak audit. *)
+type mechanism =
+  | Median_adoption  (** Propose→adopt lags: quorum gathering time. *)
+  | Delivery_gap
+      (** Virtual inter-delivery gaps between successive chains — what the
+          guest-visible interrupt clock exposes. *)
+  | Egress_release  (** Gaps between egress release instants. *)
+  | Ingress_latency
+      (** Ingress stamp → first delivery (virtual instant), per chain. The
+          sender side of a probe stream knows its own send times, so this
+          end-to-end latency is observable by an attack apparatus that
+          controls the traffic source. *)
+
+val mechanism_label : mechanism -> string
+
 (** Lag histogram on the {!Buckets} ladder; [buckets] pairs each non-empty
     bucket's upper bound (ns) with its count, ascending. *)
 type hist = {
@@ -123,5 +139,13 @@ val skew_series : t -> (int64 * int64) list
 
 (** Ring drops carried from the source trace. *)
 val dropped : t -> int
+
+(** Per-[(vm, mechanism)] timing series (milliseconds, in trace order),
+    ready for a leak detector: propose→adopt lags, inter-delivery gaps
+    (successive chains' first delivery virtual times), and egress release
+    gaps. Empty series are omitted; sorted by [(vm, mechanism)]. This is
+    the one extraction point — callers should not re-fold the trace
+    ring. *)
+val observations : t -> ((int * mechanism) * float array) list
 
 val pp_summary : Format.formatter -> t -> unit

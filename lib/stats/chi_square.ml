@@ -59,6 +59,24 @@ let equiprobable_edges (d : Dist.t) ~bins =
   Array.init (bins - 1) (fun i ->
       Dist.quantile d (float_of_int (i + 1) /. float_of_int bins))
 
+let empirical_edges samples ~bins =
+  if bins < 2 then invalid_arg "Chi_square.empirical_edges: need >= 2 bins";
+  if Array.length samples = 0 then
+    invalid_arg "Chi_square.empirical_edges: empty sample";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  Array.init (bins - 1) (fun i ->
+      let pos =
+        float_of_int (i + 1) /. float_of_int bins *. float_of_int (n - 1)
+      in
+      let j = int_of_float (Float.floor pos) in
+      if j >= n - 1 then sorted.(n - 1)
+      else begin
+        let frac = pos -. float_of_int j in
+        sorted.(j) +. (frac *. (sorted.(j + 1) -. sorted.(j)))
+      end)
+
 let bin_probs ~edges cdf =
   let b = Array.length edges + 1 in
   Array.init b (fun i ->

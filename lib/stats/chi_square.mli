@@ -32,6 +32,12 @@ val observations_needed :
     expected counts uniform under the null. *)
 val equiprobable_edges : Dist.t -> bins:int -> float array
 
+(** [empirical_edges samples ~bins] is the sample analogue of
+    {!equiprobable_edges}: interior edges at the linearly interpolated
+    sample quantiles 1/bins, ..., (bins-1)/bins. Requires a non-empty
+    sample and at least 2 bins. *)
+val empirical_edges : float array -> bins:int -> float array
+
 (** [bin_probs ~edges cdf] turns bin edges (interior edges, length [b-1])
     into [b] bin probabilities under [cdf], including the two unbounded end
     bins. *)

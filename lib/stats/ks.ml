@@ -9,6 +9,30 @@ let distance ?(grid = 4096) ~lo ~hi f g =
   done;
   !best
 
+let kolmogorov_q lambda =
+  if lambda <= 0. then 1.
+  else begin
+    (* Q(lambda) = 2 sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2); terms
+       decay doubly exponentially, so a short alternating sum suffices. *)
+    let a2 = -2. *. lambda *. lambda in
+    let acc = ref 0. and fac = ref 2. and prev = ref infinity in
+    let j = ref 1 in
+    let continue = ref true in
+    while !continue && !j <= 100 do
+      let term = !fac *. Float.exp (a2 *. float_of_int (!j * !j)) in
+      acc := !acc +. term;
+      let mag = Float.abs term in
+      if mag <= 1e-3 *. !prev || mag <= 1e-12 *. Float.abs !acc then
+        continue := false
+      else begin
+        fac := -. !fac;
+        prev := mag;
+        incr j
+      end
+    done;
+    Float.max 0. (Float.min 1. !acc)
+  end
+
 let two_sample a b =
   if Array.length a = 0 || Array.length b = 0 then
     invalid_arg "Ks.two_sample: empty sample";
@@ -36,3 +60,11 @@ let two_sample a b =
     end
   in
   walk 0 0 0.
+
+let p_value a b =
+  let d = two_sample a b in
+  let na = float_of_int (Array.length a) and nb = float_of_int (Array.length b) in
+  (* Asymptotic two-sample p with the standard small-sample correction
+     lambda = (sqrt ne + 0.12 + 0.11 / sqrt ne) * D, ne = na nb / (na + nb). *)
+  let ne = Float.sqrt (na *. nb /. (na +. nb)) in
+  kolmogorov_q ((ne +. 0.12 +. (0.11 /. ne)) *. d)

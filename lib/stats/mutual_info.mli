@@ -1,0 +1,33 @@
+(** Binned mutual-information estimation with the Miller–Madow bias
+    correction, plus the G-test it induces.
+
+    The leak-detection use is {!against_labels}: how much information the
+    config label C (null vs alt) carries about an observed timing value X,
+    I(C; X), estimated over a 2 × bins contingency table whose columns are
+    pooled-sample quantile bins. The G statistic [2 N I_plugin] (nats) is
+    asymptotically chi-square, which gives the p-value. *)
+
+type t = {
+  mi_bits : float;  (** Miller–Madow corrected estimate, bits. *)
+  plugin_bits : float;  (** Uncorrected plugin estimate, bits. *)
+  plugin_nats : float;
+  g_stat : float;  (** [2 N * plugin_nats], the G-test statistic. *)
+  df : int;  (** (occupied rows - 1)(occupied columns - 1), at least 1. *)
+  p_value : float;
+  n : int;  (** Total observations in the table. *)
+  bins : int;
+}
+
+val default_bins : int
+
+(** MI between the sample label and the observed value: columns are
+    quantile bins of the pooled sample, rows are {null, alt}. *)
+val against_labels : ?bins:int -> null:float array -> alt:float array -> unit -> t
+
+(** MI between two paired series of equal length; each axis is binned by
+    its own sample quantiles. *)
+val paired : ?bins:int -> float array -> float array -> t
+
+(** Plugin entropy (bits) of a sample under its own quantile binning —
+    the H(X) that {!paired} of a stream with itself approaches. *)
+val entropy_bits : ?bins:int -> float array -> float

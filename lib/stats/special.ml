@@ -91,6 +91,74 @@ let erf x =
   in
   sign *. (1. -. (poly *. Float.exp (-.x *. x)))
 
+let log_beta a b = log_gamma a +. log_gamma b -. log_gamma (a +. b)
+
+(* Continued fraction for the incomplete beta (modified Lentz). *)
+let beta_cf a b x =
+  let eps = 1e-14 and tiny = 1e-300 in
+  let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < tiny then d := tiny;
+  d := 1. /. !d;
+  let h = ref !d in
+  let m = ref 1 in
+  let continue = ref true in
+  while !continue && !m <= 300 do
+    let fm = float_of_int !m in
+    let m2 = 2. *. fm in
+    let aa = fm *. (b -. fm) *. x /. ((qam +. m2) *. (a +. m2)) in
+    d := 1. +. (aa *. !d);
+    if Float.abs !d < tiny then d := tiny;
+    c := 1. +. (aa /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1. /. !d;
+    h := !h *. !d *. !c;
+    let aa = -.(a +. fm) *. (qab +. fm) *. x /. ((a +. m2) *. (qap +. m2)) in
+    d := 1. +. (aa *. !d);
+    if Float.abs !d < tiny then d := tiny;
+    c := 1. +. (aa /. !c);
+    if Float.abs !c < tiny then c := tiny;
+    d := 1. /. !d;
+    let delta = !d *. !c in
+    h := !h *. delta;
+    if Float.abs (delta -. 1.) < eps then continue := false;
+    incr m
+  done;
+  !h
+
+let betai a b x =
+  if a <= 0. || b <= 0. then invalid_arg "Special.betai: requires a, b > 0";
+  if x < 0. || x > 1. then invalid_arg "Special.betai: requires x in [0, 1]";
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else begin
+    let front =
+      Float.exp
+        ((a *. Float.log x) +. (b *. Float.log (1. -. x)) -. log_beta a b)
+    in
+    (* The continued fraction converges fast only below the distribution's
+       mode; use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) past it. *)
+    if x < (a +. 1.) /. (a +. b +. 2.) then front *. beta_cf a b x /. a
+    else 1. -. (front *. beta_cf b a (1. -. x) /. b)
+  end
+
+let norm_cdf x = 0.5 *. (1. +. erf (x /. Float.sqrt 2.))
+
+let probit p =
+  if p <= 0. || p >= 1. then invalid_arg "Special.probit: requires p in (0, 1)";
+  (* Bisection against the erf-based CDF: slower than a rational
+     approximation but trivially monotone and deterministic. *)
+  let rec bisect lo hi iter =
+    if iter = 0 then (lo +. hi) /. 2.
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if norm_cdf mid < p then bisect mid hi (iter - 1)
+      else bisect lo mid (iter - 1)
+    end
+  in
+  bisect (-40.) 40. 200
+
 let choose n k =
   if k < 0 || k > n then 0.
   else begin

@@ -1,0 +1,59 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Ttest.mean: empty sample";
+  Array.fold_left ( +. ) 0. xs /. float_of_int n
+
+(* Unbiased (n - 1) sample variance. *)
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg "Ttest.variance: need >= 2 samples";
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs in
+  acc /. float_of_int (n - 1)
+
+type t = { t_stat : float; df : float; p_value : float }
+
+let welch a b =
+  let na = Array.length a and nb = Array.length b in
+  if na < 2 || nb < 2 then invalid_arg "Ttest.welch: need >= 2 samples per side";
+  let fa = float_of_int na and fb = float_of_int nb in
+  let ma = mean a and mb = mean b in
+  let va = variance a /. fa and vb = variance b /. fb in
+  let se2 = va +. vb in
+  if se2 <= 0. then begin
+    (* Both sides constant: identical means are indistinguishable, distinct
+       means are distinguished by a single observation. *)
+    if ma = mb then { t_stat = 0.; df = fa +. fb -. 2.; p_value = 1. }
+    else
+      {
+        t_stat = (if ma > mb then infinity else neg_infinity);
+        df = fa +. fb -. 2.;
+        p_value = 0.;
+      }
+  end
+  else begin
+    let t_stat = (ma -. mb) /. Float.sqrt se2 in
+    (* Welch–Satterthwaite effective degrees of freedom. *)
+    let df =
+      se2 *. se2
+      /. ((va *. va /. (fa -. 1.)) +. (vb *. vb /. (fb -. 1.)))
+    in
+    (* Two-sided: P(|T| > t) = I_{df/(df + t^2)}(df/2, 1/2). *)
+    let p_value = Special.betai (df /. 2.) 0.5 (df /. (df +. (t_stat *. t_stat))) in
+    { t_stat; df; p_value }
+  end
+
+let cohens_d a b =
+  let na = Array.length a and nb = Array.length b in
+  if na < 2 || nb < 2 then
+    invalid_arg "Ttest.cohens_d: need >= 2 samples per side";
+  let fa = float_of_int na and fb = float_of_int nb in
+  let diff = mean a -. mean b in
+  let pooled =
+    (((fa -. 1.) *. variance a) +. ((fb -. 1.) *. variance b))
+    /. (fa +. fb -. 2.)
+  in
+  if pooled <= 0. then begin
+    if diff = 0. then 0. else if diff > 0. then infinity else neg_infinity
+  end
+  else diff /. Float.sqrt pooled

@@ -266,7 +266,19 @@ let on_guest_bound i ~ingress_seq ~(inner : Packet.t) =
     complete_inbound i ~ingress_seq entry
   end
   else begin
-    (* Baseline: deliver after the emulation delay at the next exit. *)
+    (* Baseline: deliver after the emulation delay at the next exit. The
+       arrival doubles as the chain's ingress stamp — there is no
+       replicating ingress on the baseline path, so the hosting VMM is the
+       edge that first sees the packet. *)
+    if trace_on i then
+      emit i
+        (Event.Ingress_replicated
+           {
+             vm = i.vm_id;
+             ingress_seq;
+             copies = 1;
+             size = inner.Packet.size;
+           });
     let delivery =
       Time.add
         (Replica_group.member_virt i.member)

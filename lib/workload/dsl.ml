@@ -53,6 +53,7 @@ type workload = {
   topology : topology option;
   load_multipliers : float list;
   trace : bool;
+  leak_audit : bool;
   profile : bool;
 }
 
@@ -421,6 +422,7 @@ let workload_of_json path fields =
       opt fields path "load_multipliers" ~default:[ 1. ] (fun p v ->
           List.map (as_num p) (as_arr p v));
     trace = opt fields path "trace" ~default:false as_bool;
+    leak_audit = opt fields path "leak_audit" ~default:false as_bool;
     profile = opt fields path "profile" ~default:false as_bool;
   }
 
@@ -485,7 +487,11 @@ let workload_to_json (w : workload) =
               | None -> []
               | Some us -> [ ("quantum_us", Json.Number us) ]) );
         ])
-  @ [ ("trace", Json.Bool w.trace); ("profile", Json.Bool w.profile) ]
+  @ [
+      ("trace", Json.Bool w.trace);
+      ("leak_audit", Json.Bool w.leak_audit);
+      ("profile", Json.Bool w.profile);
+    ]
 
 (* --- Attack -------------------------------------------------------------- *)
 
@@ -646,6 +652,10 @@ let check_topology (w : workload) =
         Error "topology: fault schedules are not supported on a sharded run"
       else if t.shards > 1 && w.trace then
         Error "topology: tracing is not supported on a sharded run"
+      else if t.shards > 1 && w.leak_audit then
+        Error
+          "topology: leak audits (which trace) are not supported on a \
+           sharded run"
       else Ok ()
 
 let scaled w m =

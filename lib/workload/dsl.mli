@@ -98,6 +98,11 @@ type workload = {
   topology : topology option;
   load_multipliers : float list;
   trace : bool;
+  leak_audit : bool;
+      (** Record leak-observation series during the run: forces the trace
+          sink on and fills {!Run.result}'s [leak_series] from the lineage
+          [observations] fold plus the attack probe's inter-delivery
+          series. *)
   profile : bool;
 }
 

@@ -14,6 +14,7 @@ type result = {
   p50_ms : float;
   p99_ms : float;
   attacker_inter_delivery_ms : float array;
+  leak_series : (string * float array) list;
   trace : Sw_obs.Trace.t option;
   metrics : Snapshot.t;
   fired : int;
@@ -47,6 +48,7 @@ type handle = {
   cloud : Cloud.t;
   until : Time.t;
   finish : unit -> result;
+  observe : unit -> (string * float array) list;
 }
 
 let prepare_single (w : Dsl.workload) =
@@ -56,7 +58,7 @@ let prepare_single (w : Dsl.workload) =
   let profile = if w.profile then Some (Sw_obs.Profile.create ()) else None in
   let cloud = Cloud.create ~config ~seed:w.seed ?profile ~machines () in
   let trace =
-    if not w.trace then None
+    if not (w.trace || w.leak_audit) then None
     else begin
       let tr = Sw_obs.Trace.create ~metrics:(Cloud.metrics cloud) () in
       Cloud.attach_trace cloud tr;
@@ -121,20 +123,46 @@ let prepare_single (w : Dsl.workload) =
         until = w.duration;
       }
   in
+  let attacker_series () =
+    match probe with
+    | None -> [||]
+    | Some attacker ->
+        let observed_machine = if w.stopwatch then m - 1 else 0 in
+        let instance =
+          match Cloud.replica_on attacker ~machine:observed_machine with
+          | Some i -> i
+          | None -> List.hd (Cloud.replicas attacker)
+        in
+        Sw_vmm.Vmm.inter_delivery_virts_ms instance
+  in
+  (* The leak-observation extraction: the probe's guest-visible series plus
+     every per-(vm, mechanism) lineage series, keyed for attribution. Safe
+     to call mid-run (the soak driver samples it at checkpoint points). *)
+  let observe () =
+    if not w.leak_audit then []
+    else begin
+      let lineage_series =
+        match trace with
+        | None -> []
+        | Some tr ->
+            List.map
+              (fun ((vm, mech), xs) ->
+                ( Printf.sprintf "vm%d/%s" vm
+                    (Sw_obs.Lineage.mechanism_label mech),
+                  xs ))
+              (Sw_obs.Lineage.observations (Sw_obs.Lineage.of_trace tr))
+      in
+      let head =
+        match attacker_series () with
+        | [||] -> []
+        | xs -> [ ("attacker/inter-delivery", xs) ]
+      in
+      head @ lineage_series
+    end
+  in
   let finish () =
     let metrics = Cloud.metrics_snapshot cloud in
-    let attacker_inter_delivery_ms =
-      match probe with
-      | None -> [||]
-      | Some attacker ->
-          let observed_machine = if w.stopwatch then m - 1 else 0 in
-          let instance =
-            match Cloud.replica_on attacker ~machine:observed_machine with
-            | Some i -> i
-            | None -> List.hd (Cloud.replicas attacker)
-          in
-          Sw_vmm.Vmm.inter_delivery_virts_ms instance
-    in
+    let attacker_inter_delivery_ms = attacker_series () in
     {
       issued = Flowgen.issued flow;
       completed = Flowgen.completed flow;
@@ -143,13 +171,14 @@ let prepare_single (w : Dsl.workload) =
       p50_ms = quantile_ms metrics "workload.response_ns" 0.5;
       p99_ms = quantile_ms metrics "workload.response_ns" 0.99;
       attacker_inter_delivery_ms;
+      leak_series = observe ();
       trace;
       metrics;
       fired = Cloud.total_fired cloud;
       cross_shard = Cloud.cross_shard_exchanged cloud;
     }
   in
-  { cloud; until = Time.add w.duration drain; finish }
+  { cloud; until = Time.add w.duration drain; finish; observe }
 
 (* The cell-level communication graph of a topology scenario: one node per
    service cell, one weighted edge per east-west flow (cell c talks to cell
@@ -391,13 +420,14 @@ let prepare_datacenter ?shards ?partition ?lookahead (w : Dsl.workload)
       p50_ms = quantile_ms merged "workload.response_ns" 0.5;
       p99_ms = quantile_ms merged "workload.response_ns" 0.99;
       attacker_inter_delivery_ms = [||];
+      leak_series = [];
       trace = None;
       metrics;
       fired = Cloud.total_fired cloud;
       cross_shard = Cloud.cross_shard_exchanged cloud;
     }
   in
-  { cloud; until = Time.add w.duration drain; finish }
+  { cloud; until = Time.add w.duration drain; finish; observe = (fun () -> []) }
 
 let prepare ?shards ?partition ?lookahead (w : Dsl.workload) =
   match w.topology with

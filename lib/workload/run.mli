@@ -21,6 +21,12 @@ type result = {
   attacker_inter_delivery_ms : float array;
       (** Virtual inter-delivery times at the co-resident probe; empty
           without an [attack] clause. *)
+  leak_series : (string * float array) list;
+      (** Leak-observation series recorded under [leak_audit]: the probe's
+          ["attacker/inter-delivery"] series plus one
+          ["vm<i>/<mechanism>"] series per lineage observation — the input
+          an [Sw_leak.Audit] pairs across two configurations. Empty unless
+          the scenario set [leak_audit]. *)
   trace : Sw_obs.Trace.t option;
       (** The cloud-wide trace sink, when the scenario asked for one. *)
   metrics : Sw_obs.Snapshot.t;
@@ -49,6 +55,10 @@ type handle = {
   cloud : Stopwatch.Cloud.t;
   until : Sw_sim.Time.t;  (** Scenario duration plus the drain window. *)
   finish : unit -> result;  (** Call once the cloud has reached [until]. *)
+  observe : unit -> (string * float array) list;
+      (** Snapshot the leak-observation series accumulated so far; safe
+          mid-run (the soak driver calls it at every checkpoint grid
+          point). Empty unless the scenario set [leak_audit]. *)
 }
 
 (** The cell-level communication graph of the scenario's topology block:
